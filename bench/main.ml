@@ -1,0 +1,357 @@
+(* Benchmark harness: regenerates every experiment table of DESIGN.md's
+   index (E1-E12 — the paper has no measured evaluation, so these
+   reproduce its figures, lemmas and theorems empirically), then runs
+   Bechamel micro/macro benchmarks of the substrate and protocols.
+
+   Usage:
+     dune exec bench/main.exe               # tables + bechamel
+     dune exec bench/main.exe -- --tables   # experiment tables only
+     dune exec bench/main.exe -- --bench    # bechamel only
+     dune exec bench/main.exe -- --quick    # smaller parameters *)
+
+open Dds_sim
+open Dds_net
+open Dds_core
+open Dds_workload
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+let tables_only = Array.exists (String.equal "--tables") Sys.argv
+let bench_only = Array.exists (String.equal "--bench") Sys.argv
+let scale x = if quick then Stdlib.max 1 (x / 4) else x
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables *)
+
+let run_tables () =
+  Format.printf "@.#### Experiment tables (paper: Baldoni et al., ICDCS 2009) ####@.";
+
+  (* E1 — new/old inversion (introduction's figure). *)
+  Report.print (Tables.inversion (Scenario.inversion ()));
+
+  (* E2/E3 — Figure 3a/3b. *)
+  Report.print
+    (Tables.fig3 (Scenario.fig3 ~join_wait:false) (Scenario.fig3 ~join_wait:true));
+
+  (* E4 — Lemma 2's bound. *)
+  let n = 60 and delta = 3 in
+  Report.print
+    (Tables.lemma2 ~n ~delta
+       (Sweep.lemma2 ~n ~delta
+          ~ratios:[ 0.25; 0.5; 0.75; 0.9; 1.0; 1.2 ]
+          ~horizon:(scale 1500) ~seed:42));
+
+  (* E5 — synchronous safety across the churn threshold, under both
+     empty-inquiry policies (the paper's literal protocol vs the retry
+     hardening — an ablation of the one underdefined step). *)
+  let n = 30 and delta = 3 in
+  let seeds = List.init (scale 10) (fun i -> 100 + i) in
+  let ratios = [ 0.3; 0.6; 0.9; 1.1; 1.4; 2.0; 3.0 ] in
+  Report.print
+    (Tables.sync_safety ~n ~delta ~variant:"paper-literal: adopt bottom"
+       (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~n ~delta ~ratios ~seeds
+          ~horizon:(scale 600) ()));
+  Report.print
+    (Tables.sync_safety ~n ~delta ~variant:"hardened: retry inquiry"
+       (Sweep.sync_safety ~on_empty:Sync_register.Retry ~n ~delta ~ratios ~seeds
+          ~horizon:(scale 600) ()));
+
+  (* E6 — synchronous operation latencies (Lemma 1's bounds). *)
+  Report.print
+    (Tables.latency
+       ~title:
+         "E6 — synchronous latencies (Lemma 1: join <= 3*delta=15, write = delta=5, read = 0)"
+       (Sweep.sync_latency ~n:30 ~delta:5 ~c:0.01 ~horizon:(scale 1000) ~seed:7));
+
+  (* E7 — asynchronous impossibility curve. *)
+  Report.print
+    (Tables.async_impossibility
+       (Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; scale 4000 ]));
+
+  (* E8 — eventually synchronous latencies, pre- vs post-GST. *)
+  Report.print
+    (Tables.latency ~title:"E8 — ES latencies before vs after GST (gst=500, delta=4, wild=60)"
+       (Sweep.es_latency ~n:20 ~gst:500 ~delta:4 ~wild:60 ~horizon:(scale 1200) ~seed:21));
+
+  (* E9 — ES liveness at the majority boundary. *)
+  let n = 10 in
+  Report.print
+    (Tables.es_boundary ~n
+       (Sweep.es_boundary ~n
+          ~rates:[ 0.0; 0.005; 0.01; 0.02; 0.04; 0.08; 0.15 ]
+          ~horizon:(scale 600) ~seed:3));
+
+  (* E10 — ABD vs the dynamic protocols. *)
+  let n = 20 and c = 0.02 and horizon = scale 1500 in
+  Report.print
+    (Tables.abd_vs_dynamic ~n ~c ~horizon
+       (Sweep.abd_vs_dynamic ~n ~delta:3 ~c ~horizon ~seed:11));
+
+  (* E11 — message complexity. *)
+  Report.print
+    (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 10; 20; 40 ] ~delta:3 ~seed:5));
+
+  (* E12 — timed quorums. *)
+  let n = 30 in
+  Report.print
+    (Tables.timed_quorum ~n
+       (Sweep.timed_quorum ~n
+          ~cs:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
+          ~lifetime:20 ~trials:(scale 400) ~seed:17));
+
+  (* E13 — the greatest tolerable churn (Section 7's open question). *)
+  let n = 24 in
+  Report.print
+    (Tables.churn_threshold ~n
+       (Sweep.churn_threshold ~n ~deltas:[ 2; 3; 4 ]
+          ~seeds:(List.init (scale 4) (fun i -> 500 + i))
+          ~horizon:(scale 400)));
+
+  (* E14 — bursty churn at a constant average rate. *)
+  let n = 30 and delta = 3 in
+  Report.print
+    (Tables.bursty_churn ~n ~delta
+       (Sweep.bursty_churn ~n ~delta
+          ~seeds:(List.init (scale 8) (fun i -> 900 + i))
+          ~horizon:(scale 600)));
+
+  (* E15 — message-loss fault injection (outside the paper's model). *)
+  let n = 16 in
+  Report.print
+    (Tables.message_loss ~n
+       (Sweep.message_loss ~n ~delta:3
+          ~losses:[ 0.0; 0.01; 0.05; 0.1; 0.2 ]
+          ~horizon:(scale 500) ~seed:23));
+
+  (* E16 — footnote 4's join-wait optimization. *)
+  let n = 20 and delta = 6 in
+  Report.print
+    (Tables.join_wait_optimization ~n ~delta
+       (Sweep.join_wait_optimization ~n ~delta ~p2ps:[ 1; 2; 3 ] ~horizon:(scale 800)
+          ~seed:29));
+
+  (* E17 — the broadcast assumption, implemented and priced. *)
+  let n = 16 in
+  Report.print
+    (Tables.broadcast_robustness ~n
+       (Sweep.broadcast_robustness ~n
+          ~losses:[ 0.0; 0.05; 0.1; 0.2 ]
+          ~horizon:(scale 600) ~seed:31));
+
+  (* E18 — consensus from the registers (the introduction's claim). *)
+  let n = 10 and kregs = 3 in
+  Report.print
+    (Tables.consensus ~n ~k:kregs
+       (Sweep.consensus_under_churn ~n ~k:kregs
+          ~cs:[ 0.0; 0.005; 0.01; 0.02 ]
+          ~horizon:(scale 1200) ~seed:37));
+
+  (* E19 — the wireless zone: the churn bound as a speed limit. *)
+  Report.print
+    (Tables.geo_speed ~delta:3
+       (Sweep.geo_speed
+          ~speeds:[ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
+          ~horizon:(scale 1000) ~seed:5));
+
+  (* E20 — quorum-size ablation: majority is the safety boundary. *)
+  let n = 10 and c = 0.01 and loss = 0.3 in
+  Report.print
+    (Tables.quorum_ablation ~n ~c ~loss
+       (Sweep.quorum_ablation ~loss ~n ~quorums:[ 1; 2; 3; 4; 5; 6 ] ~c
+          ~horizon:(scale 800) ~seed:1 ()));
+
+  (* E21 — regular-to-atomic via read-repair. *)
+  Report.print
+    (Tables.read_repair ~n:10 (Sweep.read_repair_ablation ~n:10 ~horizon:(scale 800) ~seed:47));
+
+  (* E22 — delta mis-calibration. *)
+  Report.print
+    (Tables.delta_calibration ~n:20 ~actual:6
+       (Sweep.delta_calibration ~n:20 ~actual:6
+          ~believed:[ 2; 4; 6; 9; 12 ]
+          ~horizon:(scale 900) ~seed:53));
+
+  (* E23 — churn process shape at equal average rate. *)
+  let n = 30 and delta = 3 in
+  Report.print
+    (Tables.session_models ~n ~delta
+       (Sweep.session_models ~n ~delta ~mean:15.0 ~horizon:(scale 900) ~seed:59))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel benchmarks *)
+
+module Sim_time = Dds_sim.Time
+open Bechamel
+open Toolkit
+
+module Sync_d = Deployment.Make (Sync_register)
+module Es_d = Deployment.Make (Es_register)
+module Sync_gen = Generator.Make (Sync_d)
+module Es_gen = Generator.Make (Es_d)
+
+let bench_heap =
+  Test.make ~name:"heap: 1k insert+pop"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~cmp:Int.compare () in
+         for i = 0 to 999 do
+           Heap.insert h ((i * 7919) mod 1000)
+         done;
+         while not (Heap.is_empty h) do
+           ignore (Heap.pop h)
+         done))
+
+let bench_rng =
+  Test.make ~name:"rng: 1k bounded draws"
+    (Staged.stage
+       (let g = Rng.create ~seed:1 in
+        fun () ->
+          for _ = 1 to 1000 do
+            ignore (Rng.int g 97)
+          done))
+
+let bench_scheduler =
+  Test.make ~name:"scheduler: 10k events"
+    (Staged.stage (fun () ->
+         let s = Scheduler.create () in
+         for i = 1 to 10_000 do
+           ignore (Scheduler.schedule_at s (Sim_time.of_int (i mod 100)) (fun () -> ()))
+         done;
+         Scheduler.run s ()))
+
+let sync_run ~horizon () =
+  let cfg =
+    Deployment.default_config ~seed:1 ~n:20 ~delay:(Delay.synchronous ~delta:3)
+      ~churn_rate:0.02
+  in
+  let d = Sync_d.create cfg (Sync_register.default_params ~delta:3) in
+  Sync_d.start_churn d ~until:(Sim_time.of_int horizon);
+  Sync_gen.run d (Generator.default ~until:(Sim_time.of_int horizon));
+  Sync_d.run_until d (Sim_time.of_int (horizon + 20));
+  ignore (Sync_d.regularity d)
+
+let es_run ~horizon () =
+  let cfg =
+    Deployment.default_config ~seed:1 ~n:10 ~delay:(Delay.synchronous ~delta:3)
+      ~churn_rate:0.01
+  in
+  let d = Es_d.create cfg (Es_register.default_params ~n:10) in
+  Es_d.start_churn d ~until:(Sim_time.of_int horizon);
+  Es_gen.run d
+    { (Generator.default ~until:(Sim_time.of_int horizon)) with Generator.read_rate = 0.3 };
+  Es_d.run_until d (Sim_time.of_int (horizon + 50));
+  ignore (Es_d.regularity d)
+
+let bench_sync_run =
+  Test.make ~name:"sync: 200-tick churn run + check" (Staged.stage (sync_run ~horizon:200))
+
+let bench_es_run =
+  Test.make ~name:"es: 200-tick churn run + check" (Staged.stage (es_run ~horizon:200))
+
+(* One Test.make per experiment table, at reduced scale, so the cost of
+   regenerating each table is itself tracked over time. *)
+let bench_e1 =
+  Test.make ~name:"E1 inversion" (Staged.stage (fun () -> ignore (Scenario.inversion ())))
+
+let bench_e2 =
+  Test.make ~name:"E2/E3 fig3 pair"
+    (Staged.stage (fun () ->
+         ignore (Scenario.fig3 ~join_wait:false);
+         ignore (Scenario.fig3 ~join_wait:true)))
+
+let bench_e4 =
+  Test.make ~name:"E4 lemma2 (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.lemma2 ~n:20 ~delta:3 ~ratios:[ 0.5 ] ~horizon:200 ~seed:1)))
+
+let bench_e5 =
+  Test.make ~name:"E5 sync safety (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.sync_safety ~n:15 ~delta:3 ~ratios:[ 0.5 ] ~seeds:[ 1 ] ~horizon:150 ())))
+
+let bench_e7 =
+  Test.make ~name:"E7 async staleness (small)"
+    (Staged.stage (fun () -> ignore (Scenario.async_staleness ~horizon:200)))
+
+let bench_e9 =
+  Test.make ~name:"E9 es boundary (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.es_boundary ~n:10 ~rates:[ 0.02 ] ~horizon:150 ~seed:1)))
+
+let bench_e10 =
+  Test.make ~name:"E10 abd-vs-dynamic (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.abd_vs_dynamic ~n:10 ~delta:3 ~c:0.02 ~horizon:200 ~seed:1)))
+
+let bench_e11 =
+  Test.make ~name:"E11 msg complexity (small)"
+    (Staged.stage (fun () -> ignore (Sweep.msg_complexity ~ns:[ 10 ] ~delta:3 ~seed:1)))
+
+let bench_e12 =
+  Test.make ~name:"E12 timed quorum (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.timed_quorum ~n:20 ~cs:[ 0.02 ] ~lifetime:10 ~trials:50 ~seed:1)))
+
+let bench_e17 =
+  Test.make ~name:"E17 broadcast modes (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.broadcast_robustness ~n:10 ~losses:[ 0.1 ] ~horizon:150 ~seed:1)))
+
+let bench_e18 =
+  Test.make ~name:"E18 consensus (small)"
+    (Staged.stage (fun () ->
+         ignore (Sweep.consensus_under_churn ~n:8 ~k:3 ~cs:[ 0.0 ] ~horizon:200 ~seed:1)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"dds"
+      [
+        bench_heap;
+        bench_rng;
+        bench_scheduler;
+        bench_sync_run;
+        bench_es_run;
+        bench_e1;
+        bench_e2;
+        bench_e4;
+        bench_e5;
+        bench_e7;
+        bench_e9;
+        bench_e10;
+        bench_e11;
+        bench_e12;
+        bench_e17;
+        bench_e18;
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let quota = if quick then 0.2 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_bench_results results =
+  Format.printf "@.#### Bechamel benchmarks (monotonic clock, ns/run) ####@.@.";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "%-40s %14.0f ns/run@." name est
+          | Some _ | None -> Format.printf "%-40s %14s@." name "-")
+        rows)
+    results
+
+let () =
+  if not bench_only then run_tables ();
+  if not tables_only then begin
+    let results = benchmark () in
+    print_bench_results results
+  end;
+  Format.printf "@.done.@."

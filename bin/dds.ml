@@ -1,0 +1,448 @@
+(* dds — command-line front end.
+
+   Subcommands:
+     run       simulate one deployment of a register protocol and report
+     scenario  replay one of the paper's constructed executions
+     sweep     regenerate one experiment table (E4..E12)
+
+   Everything is deterministic in --seed. *)
+
+open Dds_sim
+open Dds_net
+open Dds_churn
+open Dds_spec
+open Dds_core
+open Dds_workload
+open Cmdliner
+
+let time = Time.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Shared run/report logic, generic over the protocol. *)
+
+module Summary = struct
+  let latency_row ops label =
+    let s = Stats.create () in
+    List.iter
+      (fun (o : History.op) ->
+        match o.History.responded with
+        | Some r -> Stats.add_int s (Time.diff r o.History.invoked)
+        | None -> ())
+      ops;
+    [
+      label;
+      Report.cell_int (Stats.count s);
+      Report.cell_float (Stats.mean s);
+      Report.cell_float (Stats.median s);
+      Report.cell_float (Stats.percentile s 99.0);
+      Report.cell_float (Stats.max_value s);
+    ]
+
+  let print ~name ~history ~regularity ~staleness ~metrics ~inversions =
+    Report.print
+      (Report.make
+         ~title:(Printf.sprintf "run summary — %s" name)
+         ~headers:[ "op"; "n"; "mean"; "p50"; "p99"; "max" ]
+         [
+           latency_row (History.completed_joins history) "join";
+           latency_row (History.completed_reads history) "read";
+           latency_row (History.completed_writes history) "write";
+         ]);
+    let r : Regularity.report = regularity in
+    Format.printf "safety     : %s (%d reads, %d joins checked; %d violations)@."
+      (if Regularity.is_ok r then "REGULAR" else "VIOLATED")
+      r.Regularity.checked_reads r.Regularity.checked_joins
+      (List.length r.Regularity.violations);
+    List.iter
+      (fun v -> Format.printf "  %a@." Regularity.pp_violation v)
+      r.Regularity.violations;
+    Format.printf "atomicity  : %d new/old inversion(s)@." (List.length inversions);
+    let st : Staleness.report = staleness in
+    Format.printf "staleness  : %a@." Staleness.pp_report st;
+    Format.printf "pending    : %d op(s) blocked at horizon, %d aborted by departures@."
+      (List.length (History.pending history))
+      (List.length (History.aborted history));
+    Format.printf "@.counters:@.";
+    List.iter (fun (k, v) -> Format.printf "  %-18s %d@." k v) (Metrics.to_list metrics)
+end
+
+type common = {
+  seed : int;
+  n : int;
+  delta : int;
+  churn : float;
+  policy : Churn.leave_policy;
+  horizon : int;
+  read_rate : float;
+  write_every : int;
+  gst : int option;  (** Some -> eventually synchronous delays *)
+  wild : int;
+  trace : bool;
+  dump_history : string option;
+}
+
+let build_delay c =
+  match c.gst with
+  | Some gst -> Delay.eventually_synchronous ~gst:(time gst) ~delta:c.delta ~wild:c.wild
+  | None -> Delay.synchronous ~delta:c.delta
+
+let build_config c =
+  {
+    Deployment.seed = c.seed;
+    n = c.n;
+    delay = build_delay c;
+    churn_rate = c.churn;
+    churn_profile = None;
+    churn_policy = c.policy;
+    protect_writer = true;
+    initial_value = 0;
+    broadcast_mode = Network.Primitive;
+    trace_enabled = c.trace;
+  }
+
+(* One first-class runner per protocol so [run] stays a single code
+   path. *)
+let make_runner (type p) (module D : Deployment.S with type Protocol.params = p) (params : p)
+    ~name c =
+  let d = D.create (build_config c) params in
+  let module G = Generator.Make (D) in
+  D.start_churn d ~until:(time c.horizon);
+  G.run d
+    {
+      Generator.read_rate = c.read_rate;
+      write_every = c.write_every;
+      start = time 1;
+      until = time c.horizon;
+    };
+  D.run_until d (time (c.horizon + (20 * c.delta) + (4 * c.wild)));
+  if c.trace then Trace.pp Format.std_formatter (D.trace d);
+  (match c.dump_history with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (History.to_csv (D.history d));
+    close_out oc;
+    Format.printf "history written to %s@." path
+  | None -> ());
+  Summary.print ~name ~history:(D.history d) ~regularity:(D.regularity d)
+    ~staleness:(D.staleness d) ~metrics:(D.metrics d)
+    ~inversions:(Atomicity.inversions (D.history d));
+  if Regularity.is_ok (D.regularity d) then `Ok () else `Error (false, "safety violated")
+
+module Sync_d = Deployment.Make (Sync_register)
+module Es_d = Deployment.Make (Es_register)
+module Abd_d = Deployment.Make (Abd_register)
+
+let run_protocol protocol c =
+  match protocol with
+  | "sync" ->
+    make_runner (module Sync_d) (Sync_register.default_params ~delta:c.delta) ~name:"sync" c
+  | "es" -> make_runner (module Es_d) (Es_register.default_params ~n:c.n) ~name:"es" c
+  | "abd" ->
+    make_runner (module Abd_d) (Abd_register.default_params ~group_size:c.n) ~name:"abd" c
+  | other -> `Error (true, Printf.sprintf "unknown protocol %S (sync|es|abd)" other)
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner terms *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Deterministic run seed.")
+
+let n_t =
+  Arg.(
+    value & opt int 20
+    & info [ "n"; "nodes" ] ~docv:"INT" ~doc:"Constant system size.")
+
+let delta_t =
+  Arg.(value & opt int 3 & info [ "delta" ] ~docv:"TICKS" ~doc:"Message delay bound.")
+
+let churn_t =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "churn"; "c" ] ~docv:"RATE"
+        ~doc:"Churn rate c: fraction of the system refreshed per tick.")
+
+let policy_t =
+  let parse s = Result.map_error (fun e -> `Msg e) (Churn.policy_of_string s) in
+  let print ppf p = Churn.pp_policy ppf p in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Churn.Uniform
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"Leave policy: uniform|oldest|youngest|active.")
+
+let horizon_t =
+  Arg.(value & opt int 500 & info [ "horizon" ] ~docv:"TICKS" ~doc:"Workload horizon.")
+
+let read_rate_t =
+  Arg.(value & opt float 1.0 & info [ "read-rate" ] ~docv:"R" ~doc:"Expected reads per tick.")
+
+let write_every_t =
+  Arg.(
+    value & opt int 20
+    & info [ "write-every" ] ~docv:"TICKS" ~doc:"One write every this many ticks (0: never).")
+
+let gst_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gst" ] ~docv:"TICK"
+        ~doc:"Use eventually-synchronous delays with this global stabilization time.")
+
+let wild_t =
+  Arg.(
+    value & opt int 50
+    & info [ "wild" ] ~docv:"TICKS" ~doc:"Pre-GST delay cap (with $(b,--gst)).")
+
+let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full event trace.")
+
+let dump_history_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-history" ] ~docv:"FILE" ~doc:"Write the operation history as CSV.")
+
+let common_t =
+  let make seed n delta churn policy horizon read_rate write_every gst wild trace
+      dump_history =
+    {
+      seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
+      dump_history;
+    }
+  in
+  Term.(
+    const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
+    $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t)
+
+let protocol_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROTOCOL" ~doc:"Register protocol: sync, es or abd.")
+
+let run_cmd =
+  let doc = "Simulate one deployment under churn and report safety and latency." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(ret (const (fun protocol c -> run_protocol protocol c) $ protocol_t $ common_t))
+
+(* analyze *)
+
+(* Runs a deployment like [run] does, then writes per-tick series
+   (|A(tau)|, present count) as CSV for external plotting. *)
+let run_analyze protocol out c =
+  let drive (type p) (module D : Deployment.S with type Protocol.params = p) (params : p) =
+    let d = D.create (build_config c) params in
+    let module G = Generator.Make (D) in
+    D.start_churn d ~until:(time c.horizon);
+    G.run d
+      {
+        Generator.read_rate = c.read_rate;
+        write_every = c.write_every;
+        start = time 1;
+        until = time c.horizon;
+      };
+    D.run_until d (time (c.horizon + (20 * c.delta)));
+    let analysis = D.analysis d in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "tick,active,present\n";
+    List.iter
+      (fun (tau, active) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d,%d,%d\n" (Time.to_int tau) active
+             (Analysis.present_at analysis tau)))
+      (Analysis.series_active analysis ~from_:Time.zero ~until:(time c.horizon));
+    let oc = open_out out in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Format.printf "series written to %s (%d ticks)@." out c.horizon;
+    `Ok ()
+  in
+  match protocol with
+  | "sync" -> drive (module Sync_d) (Sync_register.default_params ~delta:c.delta)
+  | "es" -> drive (module Es_d) (Es_register.default_params ~n:c.n)
+  | "abd" -> drive (module Abd_d) (Abd_register.default_params ~group_size:c.n)
+  | other -> `Error (true, Printf.sprintf "unknown protocol %S (sync|es|abd)" other)
+
+let analyze_cmd =
+  let doc = "Run a deployment and dump per-tick |A(tau)| / present-count series as CSV." in
+  let out_t =
+    Arg.(
+      value & opt string "series.csv"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"CSV output path.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(ret (const (fun p o c -> run_analyze p o c) $ protocol_t $ out_t $ common_t))
+
+(* scenario *)
+
+let scenario_names = [ "fig3a"; "fig3b"; "inversion"; "async" ]
+
+let run_scenario name =
+  match name with
+  | "fig3a" | "fig3b" ->
+    let with_wait = String.equal name "fig3b" in
+    Report.print
+      (Tables.fig3
+         (Scenario.fig3 ~join_wait:false)
+         (Scenario.fig3 ~join_wait:true));
+    ignore with_wait;
+    `Ok ()
+  | "inversion" ->
+    Report.print (Tables.inversion (Scenario.inversion ()));
+    `Ok ()
+  | "async" ->
+    Report.print
+      (Tables.async_impossibility
+         (Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; 4000 ]));
+    `Ok ()
+  | other ->
+    `Error
+      ( true,
+        Printf.sprintf "unknown scenario %S (%s)" other (String.concat "|" scenario_names) )
+
+let scenario_cmd =
+  let doc = "Replay one of the paper's constructed executions." in
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"fig3a, fig3b, inversion or async.")
+  in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(ret (const run_scenario $ name_t))
+
+(* sweep *)
+
+let run_sweep name c =
+  match name with
+  | "lemma2" ->
+    Report.print
+      (Tables.lemma2 ~n:c.n ~delta:c.delta
+         (Sweep.lemma2 ~n:c.n ~delta:c.delta
+            ~ratios:[ 0.25; 0.5; 0.75; 0.9; 1.0; 1.2 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "safety" ->
+    let seeds = List.init 10 (fun i -> c.seed + i) in
+    let ratios = [ 0.3; 0.6; 0.9; 1.1; 1.4; 2.0; 3.0 ] in
+    Report.print
+      (Tables.sync_safety ~n:c.n ~delta:c.delta ~variant:"paper-literal: adopt bottom"
+         (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~n:c.n ~delta:c.delta
+            ~ratios ~seeds ~horizon:c.horizon ()));
+    `Ok ()
+  | "boundary" ->
+    Report.print
+      (Tables.es_boundary ~n:c.n
+         (Sweep.es_boundary ~n:c.n
+            ~rates:[ 0.0; 0.005; 0.01; 0.02; 0.04; 0.08; 0.15 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "versus" ->
+    let churn = if c.churn > 0.0 then c.churn else 0.02 in
+    Report.print
+      (Tables.abd_vs_dynamic ~n:c.n ~c:churn ~horizon:c.horizon
+         (Sweep.abd_vs_dynamic ~n:c.n ~delta:c.delta ~c:churn ~horizon:c.horizon
+            ~seed:c.seed));
+    `Ok ()
+  | "msgs" ->
+    Report.print
+      (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 10; 20; 40 ] ~delta:c.delta ~seed:c.seed));
+    `Ok ()
+  | "quorum" ->
+    Report.print
+      (Tables.timed_quorum ~n:c.n
+         (Sweep.timed_quorum ~n:c.n
+            ~cs:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
+            ~lifetime:20 ~trials:400 ~seed:c.seed));
+    `Ok ()
+  | "threshold" ->
+    Report.print
+      (Tables.churn_threshold ~n:c.n
+         (Sweep.churn_threshold ~n:c.n ~deltas:[ 2; 3; 4 ]
+            ~seeds:(List.init 4 (fun i -> c.seed + i))
+            ~horizon:c.horizon));
+    `Ok ()
+  | "bursty" ->
+    Report.print
+      (Tables.bursty_churn ~n:c.n ~delta:c.delta
+         (Sweep.bursty_churn ~n:c.n ~delta:c.delta
+            ~seeds:(List.init 8 (fun i -> c.seed + i))
+            ~horizon:c.horizon));
+    `Ok ()
+  | "loss" ->
+    Report.print
+      (Tables.message_loss ~n:c.n
+         (Sweep.message_loss ~n:c.n ~delta:c.delta
+            ~losses:[ 0.0; 0.01; 0.05; 0.1; 0.2 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "broadcast" ->
+    Report.print
+      (Tables.broadcast_robustness ~n:c.n
+         (Sweep.broadcast_robustness ~n:c.n
+            ~losses:[ 0.0; 0.05; 0.1; 0.2 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "consensus" ->
+    Report.print
+      (Tables.consensus ~n:c.n ~k:3
+         (Sweep.consensus_under_churn ~n:c.n ~k:3
+            ~cs:[ 0.0; 0.005; 0.01; 0.02 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "sessions" ->
+    Report.print
+      (Tables.session_models ~n:c.n ~delta:c.delta
+         (Sweep.session_models ~n:c.n ~delta:c.delta ~mean:15.0 ~horizon:c.horizon
+            ~seed:c.seed));
+    `Ok ()
+  | "calibration" ->
+    Report.print
+      (Tables.delta_calibration ~n:c.n ~actual:(Stdlib.max c.delta 4)
+         (Sweep.delta_calibration ~n:c.n
+            ~actual:(Stdlib.max c.delta 4)
+            ~believed:[ 2; 4; 6; 9; 12 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "repair" ->
+    Report.print
+      (Tables.read_repair ~n:c.n (Sweep.read_repair_ablation ~n:c.n ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "geo" ->
+    Report.print
+      (Tables.geo_speed ~delta:3
+         (Sweep.geo_speed
+            ~speeds:[ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
+            ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | "joinopt" ->
+    Report.print
+      (Tables.join_wait_optimization ~n:c.n ~delta:(Stdlib.max c.delta 4)
+         (Sweep.join_wait_optimization ~n:c.n
+            ~delta:(Stdlib.max c.delta 4)
+            ~p2ps:[ 1; 2 ] ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
+  | other ->
+    `Error
+      ( true,
+        Printf.sprintf
+          "unknown sweep %S (lemma2|safety|boundary|versus|msgs|quorum|threshold|bursty|loss|joinopt|broadcast|consensus|geo|repair|calibration|sessions)"
+          other )
+
+let sweep_cmd =
+  let doc = "Regenerate one experiment table (see DESIGN.md's index)." in
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SWEEP" ~doc:"lemma2, safety, boundary, versus, msgs, quorum, threshold, bursty, loss, joinopt, broadcast, consensus, geo, repair, calibration or sessions.")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ name_t $ common_t))
+
+let main_cmd =
+  let doc = "regular registers in dynamic distributed systems (Baldoni et al., ICDCS 2009)" in
+  Cmd.group
+    (Cmd.info "dds" ~version:"1.0.0" ~doc)
+    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,105 @@
+(* P2P directory: the paper's motivating workload.
+
+     dune exec examples/p2p_directory.exe
+
+   A peer-to-peer overlay (the paper's introduction cites P2P and
+   social networks as the systems that motivate the churn model) keeps
+   one piece of shared mutable state: the address of the current
+   super-peer that coordinates the overlay. Peers come and go
+   continuously; no delay bound is credible on the open internet, so
+   the overlay runs the *eventually synchronous* protocol: every
+   operation is a majority-quorum exchange, correct as long as a
+   majority of the n present peers is active (Section 5.2).
+
+   The run has three acts:
+     1. calm network (delays within delta),
+     2. a congestion storm (delays blow up to `wild` — GST has not
+        happened yet),
+     3. the network stabilizes (GST passes, delays back under delta).
+   Super-peer re-elections (writes) and lookups (reads) run
+   throughout; the history is machine-checked at the end. *)
+
+open Dds_sim
+open Dds_net
+open Dds_spec
+open Dds_core
+
+module D = Deployment.Make (Es_register)
+
+let time = Time.of_int
+let n = 16
+let gst = 700 (* the storm ends here; unknowable to the peers *)
+
+let () =
+  (* Before t=300 we keep delays small by scripting the delay model as
+     eventually-synchronous with a large pre-GST cap: draws land
+     anywhere in [1, wild] during the storm. *)
+  let delay = Delay.eventually_synchronous ~gst:(time gst) ~delta:4 ~wild:80 in
+  let cfg =
+    {
+      (Deployment.default_config ~seed:7 ~n ~delay ~churn_rate:0.008) with
+      Deployment.churn_policy = Dds_churn.Churn.Uniform;
+    }
+  in
+  let d = D.create cfg (Es_register.default_params ~n) in
+  let sched = D.scheduler d in
+  D.start_churn d ~until:(time 1400);
+
+  (* Re-elect a super-peer (write) every 120 ticks. *)
+  let election = ref 0 in
+  let rec elect t =
+    if t <= 1400 then begin
+      ignore
+        (Scheduler.schedule_at sched (time t) (fun () ->
+             match D.writer d with
+             | Some w -> (
+               (* During the storm the previous announcement can still
+                  be collecting acknowledgements: skip this round. *)
+               match D.node d w with
+               | Some node when Es_register.is_active node && not (Es_register.busy node) ->
+                 incr election;
+                 Format.printf "[t=%4d] election %d: announcing new super-peer@." t !election;
+                 D.write d w
+               | Some _ | None ->
+                 Format.printf "[t=%4d] election postponed: previous announcement in flight@." t)
+             | None -> ()));
+      elect (t + 120)
+    end
+  in
+  elect 60;
+
+  (* Peers look the super-peer up (read) four times per tick window. *)
+  let rec lookup t =
+    if t <= 1400 then begin
+      ignore
+        (Scheduler.schedule_at sched (time t) (fun () ->
+             match D.random_idle_active d with Some p -> D.read d p | None -> ()));
+      lookup (t + 3)
+    end
+  in
+  lookup 10;
+
+  D.run_until d (time 2200);
+
+  let h = D.history d in
+  let lat_of ops invoked_lt =
+    let s = Stats.create () in
+    List.iter
+      (fun (o : History.op) ->
+        match o.History.responded with
+        | Some r when invoked_lt o -> Stats.add_int s (Time.diff r o.History.invoked)
+        | _ -> ())
+      ops;
+    s
+  in
+  let reads = History.completed_reads h in
+  let storm = lat_of reads (fun o -> Time.to_int o.History.invoked < gst) in
+  let calm = lat_of reads (fun o -> Time.to_int o.History.invoked >= gst) in
+  Format.printf "@.lookups during the storm : %a@." Stats.pp_summary storm;
+  Format.printf "lookups after stabilizing: %a@." Stats.pp_summary calm;
+  let report = D.regularity d in
+  Format.printf "directory consistency    : %s (%d lookups, %d joins checked)@."
+    (if Regularity.is_ok report then "regular — every lookup legal" else "VIOLATED")
+    report.Regularity.checked_reads report.Regularity.checked_joins;
+  Format.printf "peers that passed through the overlay: %d@."
+    (List.length (Dds_churn.Membership.records (D.membership d)))

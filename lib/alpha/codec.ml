@@ -1,0 +1,22 @@
+type record = { lre : int; lrww : int; v : int }
+
+let bottom = { lre = 0; lrww = 0; v = 0 }
+let bits = 20
+let field_max = 1 lsl bits
+
+let check name x =
+  if x < 0 || x >= field_max then
+    invalid_arg (Printf.sprintf "Codec.pack: %s = %d outside [0, 2^%d)" name x bits)
+
+let pack r =
+  check "lre" r.lre;
+  check "lrww" r.lrww;
+  check "v" r.v;
+  (r.lre lsl (2 * bits)) lor (r.lrww lsl bits) lor r.v
+
+let unpack x =
+  if x < 0 then invalid_arg "Codec.unpack: negative input";
+  let mask = field_max - 1 in
+  { lre = (x lsr (2 * bits)) land mask; lrww = (x lsr bits) land mask; v = x land mask }
+
+let pp ppf r = Format.fprintf ppf "{lre=%d; lrww=%d; v=%d}" r.lre r.lrww r.v

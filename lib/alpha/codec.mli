@@ -1,0 +1,28 @@
+(** Packing alpha records into register values.
+
+    The registers store [int] data; the alpha abstraction needs each
+    register to hold a triple: the owner's last round entered ([lre]),
+    the last round in which it wrote a value ([lrww]), and that value
+    ([v], where 0 encodes the "no value yet" ⊥). The triple is packed
+    into one non-negative 60-bit integer, 20 bits per field. *)
+
+type record = {
+  lre : int;  (** last round entered; [0 <= lre < 2^20] *)
+  lrww : int;  (** last round with a write; [0 <= lrww < 2^20] *)
+  v : int;  (** adopted value; [0] is ⊥; [0 <= v < 2^20] *)
+}
+
+val bottom : record
+(** [{ lre = 0; lrww = 0; v = 0 }] — every register's initial state. *)
+
+val field_max : int
+(** Exclusive upper bound on each field ([2^20]). *)
+
+val pack : record -> int
+(** @raise Invalid_argument if any field is outside [\[0, field_max)]. *)
+
+val unpack : int -> record
+(** Inverse of {!pack}.
+    @raise Invalid_argument on negative input. *)
+
+val pp : Format.formatter -> record -> unit

@@ -1,0 +1,60 @@
+open Dds_sim
+open Dds_net
+
+(** Indulgent consensus from regular registers + Omega.
+
+    The paper's introduction motivates regular registers partly by
+    this construction (references [11] and [14]): with an eventual
+    leader oracle, a register-based alpha yields consensus in systems
+    where consensus is otherwise impossible. This module closes the
+    loop over the dynamic register array:
+
+    - every {e participant} (the [k] register owners) may propose a
+      value;
+    - a periodic driver lets whoever Omega currently designates run
+      alpha attempts with its own (ever-increasing, per-participant
+      disjoint) rounds;
+    - a committed value is {e decided} and disseminated on a dedicated
+      DECIDE channel, re-announced so later joiners learn it too.
+
+    Safety (agreement + validity) comes from alpha alone — it holds
+    even while Omega flaps or churn removes leaders mid-attempt.
+    Termination needs the usual indulgent conditions: some participant
+    eventually stays, and the register operations themselves terminate
+    (a perpetual active majority, Section 5.2). *)
+
+type t
+
+val create : Register_array.t -> ?retry_every:int -> unit -> t
+(** Wraps an array whose [k] register owners are the participants.
+    [retry_every] (default 25 ticks) paces leader attempts and DECIDE
+    re-announcements. Attaches the DECIDE channel to every present
+    process and tracks membership changes. *)
+
+val propose : t -> Pid.t -> int -> unit
+(** Participant [pid] proposes a value in [(0, Codec.field_max)].
+    @raise Invalid_argument if [pid] is not a participant, already
+    proposed, or the value is out of range. *)
+
+val start : t -> until:Time.t -> unit
+(** Schedules the leader driver. *)
+
+val decision_of : t -> Pid.t -> int option
+
+val decisions : t -> (Pid.t * int) list
+(** Every process (participant or not) that has learned the decision. *)
+
+val decided_count : t -> int
+
+val agreement_ok : t -> bool
+(** No two processes decided differently (vacuously true if none). *)
+
+val validity_ok : t -> bool
+(** Every decided value was proposed. *)
+
+val attempts_used : t -> int
+(** Total alpha attempts launched (1 in a stable run; more under
+    leader flapping). *)
+
+val first_decision_at : t -> Time.t option
+(** When the first process decided. *)

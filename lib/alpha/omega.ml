@@ -1,0 +1,15 @@
+open Dds_net
+open Dds_churn
+
+let leader membership ~participants =
+  participants
+  |> List.filter (Membership.is_present membership)
+  |> List.sort Pid.compare
+  |> function
+  | [] -> None
+  | first :: _ -> Some first
+
+let is_leader membership ~participants pid =
+  match leader membership ~participants with
+  | Some l -> Pid.equal l pid
+  | None -> false

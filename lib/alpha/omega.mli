@@ -1,0 +1,23 @@
+open Dds_net
+open Dds_churn
+
+(** The Omega leader oracle.
+
+    Indulgent consensus (the paper's introduction, via Guerraoui-Raynal
+    [14] and Gafni-Lamport [11]) pairs a safe-but-possibly-aborting
+    agreement abstraction (alpha) with an {e eventual leader} oracle:
+    all processes eventually trust the same non-departed participant.
+    In a dynamic system the natural oracle is "the smallest-identity
+    participant still present": once churn spares some participant
+    long enough, every query converges on it. This module is the
+    oracle as an abstraction — queries read the membership directly,
+    which is the customary simulation stand-in for a failure-detector
+    implementation (the protocol layered on top may only call
+    {!leader}, never inspect membership itself). *)
+
+val leader : Membership.t -> participants:Pid.t list -> Pid.t option
+(** The smallest participant still present (joining or active), or
+    [None] when every participant has left — in which case no leader
+    will ever emerge and consensus cannot terminate. *)
+
+val is_leader : Membership.t -> participants:Pid.t list -> Pid.t -> bool

@@ -1,0 +1,86 @@
+open Dds_sim
+
+type span = { starts : int; ends : int option } (* active interval [starts, ends) *)
+
+type t = {
+  actives : span array;  (** one per process that ever became active *)
+  presents : span array;  (** one per process ever present: [join, leave) *)
+}
+
+let of_records records =
+  let actives =
+    List.filter_map
+      (fun (r : Membership.record) ->
+        match r.active_time with
+        | None -> None
+        | Some a ->
+          Some { starts = Time.to_int a; ends = Option.map Time.to_int r.leave_time })
+      records
+  in
+  let presents =
+    List.map
+      (fun (r : Membership.record) ->
+        { starts = Time.to_int r.join_time; ends = Option.map Time.to_int r.leave_time })
+      records
+  in
+  { actives = Array.of_list actives; presents = Array.of_list presents }
+
+let count_at spans tau =
+  let tau = Time.to_int tau in
+  Array.fold_left
+    (fun acc s ->
+      let alive = s.starts <= tau && (match s.ends with None -> true | Some e -> tau < e) in
+      if alive then acc + 1 else acc)
+    0 spans
+
+let active_at t tau = count_at t.actives tau
+let present_at t tau = count_at t.presents tau
+
+(* |A(tau1, tau2)|: active at every instant of [tau1, tau2], i.e.
+   became active by tau1 and still there just after tau2. *)
+let covers s ~from_ ~until =
+  s.starts <= from_ && (match s.ends with None -> true | Some e -> until < e)
+
+let active_through t ~from_ ~until =
+  if Time.(until < from_) then invalid_arg "Analysis.active_through: until < from_";
+  let from_ = Time.to_int from_ and until = Time.to_int until in
+  Array.fold_left (fun acc s -> if covers s ~from_ ~until then acc + 1 else acc) 0 t.actives
+
+(* Sweep with a difference array: the span contributes to
+   A(tau, tau+window) for tau in [starts, ends - window - 1]. *)
+let min_active_window t ~window ~from_ ~until =
+  if window < 0 then invalid_arg "Analysis.min_active_window: negative window";
+  if Time.(until < from_) then invalid_arg "Analysis.min_active_window: until < from_";
+  let lo = Time.to_int from_ and hi = Time.to_int until in
+  let len = hi - lo + 1 in
+  let diff = Array.make (len + 1) 0 in
+  Array.iter
+    (fun s ->
+      let first = Stdlib.max lo s.starts in
+      let last =
+        match s.ends with None -> hi | Some e -> Stdlib.min hi (e - window - 1)
+      in
+      if first <= last then begin
+        diff.(first - lo) <- diff.(first - lo) + 1;
+        diff.(last - lo + 1) <- diff.(last - lo + 1) - 1
+      end)
+    t.actives;
+  let best_tau = ref lo and best = ref max_int and running = ref 0 in
+  for i = 0 to len - 1 do
+    running := !running + diff.(i);
+    if !running < !best then begin
+      best := !running;
+      best_tau := lo + i
+    end
+  done;
+  (Time.of_int !best_tau, !best)
+
+let min_active t ~from_ ~until = min_active_window t ~window:0 ~from_ ~until
+
+let series_active t ~from_ ~until =
+  let lo = Time.to_int from_ and hi = Time.to_int until in
+  let rec build tau acc =
+    if tau > hi then List.rev acc
+    else build (tau + 1) ((Time.of_int tau, active_at t (Time.of_int tau)) :: acc)
+  in
+  build lo []

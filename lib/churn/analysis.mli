@@ -1,0 +1,46 @@
+open Dds_sim
+
+(** Post-hoc analysis of a run's membership history.
+
+    Reconstructs [A(tau)] (the set of processes active at time [tau])
+    and [A(tau1, tau2)] (processes active during the whole interval)
+    from lifecycle records, for checking the paper's set-size claims:
+
+    - Lemma 2: for the synchronous protocol with [c < 1/(3 delta)],
+      [|A(tau, tau + 3 delta)| >= n (1 - 3 delta c) > 0] at every tau;
+    - the eventually-synchronous assumption [|A(tau)| >= n/2 + 1].
+
+    Membership conventions: a process is in [A(tau)] when it became
+    active at or before [tau] and had not left at [tau] (leaving at
+    exactly [tau] removes it); it is in [A(tau1, tau2)] when it is in
+    [A(tau)] for every [tau] in [\[tau1, tau2\]]. *)
+
+type t
+
+val of_records : Membership.record list -> t
+(** Build an analysis from {!Membership.records}. *)
+
+val active_at : t -> Time.t -> int
+(** [|A(tau)|]. *)
+
+val present_at : t -> Time.t -> int
+(** Number of joining-or-active processes at [tau]. *)
+
+val active_through : t -> from_:Time.t -> until:Time.t -> int
+(** [|A(from_, until)|].
+    @raise Invalid_argument if [until < from_]. *)
+
+val min_active_window :
+  t -> window:int -> from_:Time.t -> until:Time.t -> Time.t * int
+(** [min_active_window ~window ~from_ ~until] scans every
+    [tau in [from_, until]] and returns the [tau] minimising
+    [|A(tau, tau + window)|], with that minimum. Runs in
+    O(processes + interval length).
+    @raise Invalid_argument if [until < from_] or [window < 0]. *)
+
+val min_active : t -> from_:Time.t -> until:Time.t -> Time.t * int
+(** [min_active_window] with a zero-length window: the worst
+    instantaneous [|A(tau)|]. *)
+
+val series_active : t -> from_:Time.t -> until:Time.t -> (Time.t * int) list
+(** [|A(tau)|] sampled at every tick of the range, for plotting. *)

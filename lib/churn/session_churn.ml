@@ -1,0 +1,109 @@
+open Dds_sim
+open Dds_net
+
+type distribution = Fixed of int | Geometric of float | Pareto of { alpha : float; xmin : float }
+
+let validate = function
+  | Fixed l when l <= 0 -> invalid_arg "Session_churn: Fixed length must be positive"
+  | Geometric m when m <= 0.0 -> invalid_arg "Session_churn: Geometric mean must be positive"
+  | Pareto { alpha; xmin } when alpha <= 0.0 || xmin < 1.0 ->
+    invalid_arg "Session_churn: Pareto needs alpha > 0 and xmin >= 1"
+  | Fixed _ | Geometric _ | Pareto _ -> ()
+
+let mean_session = function
+  | Fixed l -> float_of_int l
+  | Geometric m -> m
+  | Pareto { alpha; xmin } ->
+    if alpha <= 1.0 then infinity else alpha *. xmin /. (alpha -. 1.0)
+
+let sample dist rng =
+  match dist with
+  | Fixed l -> l
+  | Geometric m ->
+    (* Inverse-transform of the geometric on {1, 2, ...} with mean m:
+       success probability p = 1/m. *)
+    let p = 1.0 /. m in
+    let u = Rng.float rng 1.0 in
+    let u = if u <= 0.0 then 1e-12 else u in
+    Stdlib.max 1 (int_of_float (ceil (log u /. log (1.0 -. p))))
+  | Pareto { alpha; xmin } ->
+    let u = Rng.float rng 1.0 in
+    let u = if u <= 0.0 then 1e-12 else u in
+    Stdlib.max 1 (int_of_float (xmin /. (u ** (1.0 /. alpha))))
+
+type t = {
+  sched : Scheduler.t;
+  rng : Rng.t;
+  membership : Membership.t;
+  distribution : distribution;
+  spawn : unit -> Pid.t;
+  retire : Pid.t -> unit;
+  expiries : Time.t Pid.Table.t;
+  mutable replaced : int;
+  mutable started_at : Time.t;
+  mutable token : Scheduler.token option;
+  mutable stopped : bool;
+}
+
+let assign_lifetime t pid =
+  let length = sample t.distribution t.rng in
+  Pid.Table.replace t.expiries pid (Time.add (Scheduler.now t.sched) length)
+
+let create ~sched ~rng ~membership ~distribution ~spawn ~retire () =
+  validate distribution;
+  let t =
+    {
+      sched;
+      rng;
+      membership;
+      distribution;
+      spawn;
+      retire;
+      expiries = Pid.Table.create 64;
+      replaced = 0;
+      started_at = Scheduler.now sched;
+      token = None;
+      stopped = false;
+    }
+  in
+  List.iter (assign_lifetime t) (Membership.present membership);
+  t
+
+let rec tick t ~until () =
+  if not t.stopped then begin
+    let now = Scheduler.now t.sched in
+    let expired =
+      Pid.Table.fold
+        (fun pid expiry acc -> if Time.(expiry <= now) then pid :: acc else acc)
+        t.expiries []
+      |> List.sort Pid.compare
+    in
+    List.iter
+      (fun pid ->
+        Pid.Table.remove t.expiries pid;
+        if Membership.is_present t.membership pid then begin
+          t.retire pid;
+          let replacement = t.spawn () in
+          assign_lifetime t replacement;
+          t.replaced <- t.replaced + 1
+        end)
+      expired;
+    if Time.(now < until) then
+      t.token <- Some (Scheduler.schedule_after t.sched 1 (tick t ~until))
+  end
+
+let start t ~until =
+  t.started_at <- Scheduler.now t.sched;
+  t.token <- Some (Scheduler.schedule_after t.sched 1 (tick t ~until))
+
+let stop t =
+  t.stopped <- true;
+  (match t.token with Some tok -> Scheduler.cancel t.sched tok | None -> ());
+  t.token <- None
+
+let replaced t = t.replaced
+
+let measured_rate t ~n =
+  let elapsed = Time.diff (Scheduler.now t.sched) t.started_at in
+  if elapsed <= 0 then 0.0
+  else float_of_int t.replaced /. float_of_int elapsed /. float_of_int n

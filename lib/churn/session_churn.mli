@@ -1,0 +1,70 @@
+open Dds_sim
+open Dds_net
+
+(** Lifetime-driven churn.
+
+    The paper justifies constant churn by citing Ko, Hoque & Gupta's
+    tractable churn models [19], which describe member {e session
+    lengths} rather than a global refresh rate. This engine implements
+    that view: every process receives a session length drawn from a
+    distribution when it enters, leaves when it expires, and is
+    replaced on the spot (so the population stays at [n], as in the
+    paper's model). The resulting {e rate} is emergent:
+
+    - {b Fixed} length [L]: a deterministic rotation, rate exactly
+      [1/L] — but perfectly correlated departures (everyone who
+      arrived together leaves together);
+    - {b Geometric} with mean [m]: memoryless — stochastically the
+      same as the constant-rate engine with uniform victim selection
+      at [c = 1/m], with binomial per-tick counts instead of a
+      deterministic quota;
+    - {b Pareto} (heavy-tailed, as measured in real P2P systems):
+      equal mean, very different shape — a sticky core of long-lived
+      members plus a fast-cycling fringe.
+
+    Experiment E23 runs the synchronous register under all three at
+    the same average churn and compares against the constant-rate
+    engine, probing how load-bearing the "constant c" abstraction is
+    for the paper's citation of [19]. *)
+
+type distribution =
+  | Fixed of int  (** every session lasts exactly this many ticks *)
+  | Geometric of float  (** mean session length (ticks); memoryless *)
+  | Pareto of { alpha : float; xmin : float }
+      (** heavy tail; mean [alpha*xmin/(alpha-1)] for [alpha > 1] *)
+
+val mean_session : distribution -> float
+(** Expected session length in ticks ([infinity] for Pareto with
+    [alpha <= 1]). *)
+
+val sample : distribution -> Rng.t -> int
+(** One session length, at least 1 tick. *)
+
+type t
+
+val create :
+  sched:Scheduler.t ->
+  rng:Rng.t ->
+  membership:Membership.t ->
+  distribution:distribution ->
+  spawn:(unit -> Pid.t) ->
+  retire:(Pid.t -> unit) ->
+  unit ->
+  t
+(** [spawn] must bring one process into the system and return its pid
+    (the engine then assigns it a lifetime); [retire] must remove one.
+    Processes already present at creation are adopted and given
+    lifetimes too.
+    @raise Invalid_argument on a non-positive [Fixed]/[Geometric]
+    parameter or [Pareto] with [alpha <= 0] or [xmin < 1]. *)
+
+val start : t -> until:Time.t -> unit
+(** Schedules the per-tick expiry sweep. *)
+
+val stop : t -> unit
+
+val replaced : t -> int
+(** Total expiry-driven replacements so far. *)
+
+val measured_rate : t -> n:int -> float
+(** Replacements per tick per member so far — the emergent [c]. *)

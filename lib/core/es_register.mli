@@ -1,0 +1,92 @@
+open Dds_spec
+
+(** The eventually-synchronous regular-register protocol
+    (Section 5, Figures 4-6).
+
+    No delay bound is usable, so every wait is a {e quorum wait}:
+    join, read and the write's acknowledgement phase each block until
+    [floor(n/2) + 1] distinct processes have answered. Correctness
+    rests on the assumptions of Section 5.2 — at every instant a
+    majority of the [n] present processes is active, and
+    [c <= 1/(3 delta n)] — plus eventual timely delivery after the
+    (unknowable) global stabilization time.
+
+    Protocol shape:
+
+    - {b join} (Figure 4): broadcast [INQUIRY (i, 0)]; an active
+      receiver replies immediately, a joining one postpones the reply
+      until its own activation ([reply_to]) and meanwhile sends
+      [DL_PREV] so the inquirer will symmetrically reply to {e it} upon
+      activating — the handshake that makes concurrent joins unblock
+      each other (Lemma 5). An active reader also sends [DL_PREV], so
+      it will receive the joiner's value for its pending read.
+    - {b read} (Figure 5): a simplified join — broadcast
+      [READ (i, r_sn)], wait for a majority of replies tagged [r_sn],
+      adopt the newest.
+    - {b write} (Figure 6): an embedded read fetches the latest
+      sequence number, then [WRITE (v, sn+1)] is broadcast and the
+      writer waits for a majority of [ACK (sn+1)].
+
+    Two implementation notes where Figure 4's listing is read charitably
+    rather than literally:
+
+    - line 20 acknowledges with the {e read} sequence number, while the
+      write path (Figure 6 lines 09-10) matches acknowledgements against
+      the {e data} sequence number; Lemma 7's proof makes clear the
+      REPLY-triggered ACK must carry the replied value's sequence number
+      so that a writer's reply to a joiner feeds its own acknowledgement
+      quorum — we implement that reading;
+    - line 22 only records a DL_PREV, and lines 08-09 flush the set once
+      at activation; but a DL_PREV can arrive {e after} activation (its
+      sender's REPLY may be the very message that completed the join), so
+      an already-active recipient answers it immediately — otherwise the
+      promised reply would never be sent and a reader could block, which
+      Lemma 6 forbids. *)
+
+type params = {
+  n : int;  (** system size; the quorum threshold is [n/2 + 1] *)
+  quorum_override : int option;
+      (** replaces the majority threshold for {e every} wait (join,
+          read, write acknowledgement). The paper's protocol is
+          [None]; the E20 ablation sweeps this to show that majority
+          is exactly the safety boundary — smaller quorums stop
+          intersecting (stale reads slip through), larger ones only
+          cost liveness under churn. *)
+  read_repair : bool;
+      (** the regular-to-atomic transformation, in the dynamic
+          setting: before returning, a read propagates the value it
+          adopted (a WRITE re-broadcast with the {e same} sequence
+          number) and waits for a majority of acknowledgements, so any
+          later read's quorum intersects a set that already holds it —
+          no new/old inversion can form (this is ABD's read phase 2 /
+          the classical transformations the paper's introduction cites
+          [5, 7, 16, 21, 27, 29, 30]). Costs one extra round trip per
+          read. [false] is the paper's regular register. *)
+}
+
+val default_params : n:int -> params
+(** [quorum_override = None], [read_repair = false]. *)
+
+val majority : params -> int
+(** The effective threshold: [floor(n/2) + 1], or the override. *)
+
+type msg =
+  | Inquiry of { r_sn : int }  (** join's value request ([r_sn = 0]) *)
+  | Read_req of { r_sn : int }  (** a read's value request *)
+  | Reply of { value : Value.t; r_sn : int }
+  | Write_msg of { value : Value.t }
+  | Ack of { sn : int }
+  | Dl_prev of { r_sn : int }
+      (** "reply to me when you activate" (deferred-reply promise) *)
+
+include Register_intf.PROTOCOL with type msg := msg and type params := params
+
+val is_reading : node -> bool
+(** The [reading_i] flag (true during reads, including a write's
+    embedded read phase). White-box accessor for tests. *)
+
+val read_sn : node -> int
+(** Current read sequence number (0 until the first read). *)
+
+val replies_gathered : node -> int
+(** Distinct repliers in the current quorum wait. *)

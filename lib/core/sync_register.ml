@@ -1,0 +1,178 @@
+open Dds_sim
+open Dds_net
+open Dds_spec
+
+type empty_inquiry_behavior = Retry | Adopt_bottom
+
+type params = {
+  delta : int;
+  join_wait : bool;
+  on_empty_inquiry : empty_inquiry_behavior;
+  p2p_delta : int option;
+}
+
+let default_params ~delta =
+  { delta; join_wait = true; on_empty_inquiry = Retry; p2p_delta = None }
+
+(* Footnote 4: the inquiry's round trip is one broadcast (<= delta)
+   plus one point-to-point reply (<= delta' when known). *)
+let inquiry_round_trip params =
+  match params.p2p_delta with
+  | Some p2p -> params.delta + p2p
+  | None -> 2 * params.delta
+
+type msg = Inquiry | Reply of Value.t | Write_msg of Value.t
+
+let name = "sync"
+
+let pp_msg ppf = function
+  | Inquiry -> Format.pp_print_string ppf "INQUIRY"
+  | Reply v -> Format.fprintf ppf "REPLY(%a)" Value.pp v
+  | Write_msg v -> Format.fprintf ppf "WRITE(%a)" Value.pp v
+
+type op = Idle | Writing of { k : Value.t -> unit }
+
+type node = {
+  sched : Scheduler.t;
+  net : msg Network.t;
+  params : params;
+  pid : Pid.t;
+  on_active : Value.t -> unit;
+  mutable register : Value.t option;
+  mutable replies : Value.t list;  (** REPLY payloads gathered while inquiring *)
+  mutable reply_to : Pid.t list;  (** inquiries postponed until activation *)
+  mutable active : bool;
+  mutable left : bool;
+  mutable op : op;
+  mutable timers : Scheduler.token list;
+  mutable join_retries : int;
+}
+
+let pid t = t.pid
+let is_active t = t.active
+let busy t = match t.op with Idle -> false | Writing _ -> true
+let snapshot t = t.register
+let join_retries t = t.join_retries
+let joins_in_flight_reply_queue t = t.reply_to
+
+let current_sn t =
+  match t.register with
+  | Some v when not (Value.is_bottom v) -> v.Value.sn
+  | Some _ | None -> -1
+
+let set_timer t d f =
+  let tok = Scheduler.schedule_after t.sched d (fun () -> if not t.left then f ()) in
+  t.timers <- tok :: t.timers
+
+(* Lines 10-11: become active, then answer the postponed inquiries. *)
+let activate t =
+  t.active <- true;
+  let value = match t.register with Some v -> v | None -> assert false in
+  List.iter (fun j -> Network.send t.net ~src:t.pid ~dst:j (Reply value)) t.reply_to;
+  t.reply_to <- [];
+  t.on_active value
+
+(* Lines 07-09: adopt the highest-sequence-number value heard, then
+   activate — unless the inquiry round came back completely empty
+   (possible only above the churn bound), in which case we inquire
+   again rather than activate valueless. *)
+let rec finish_inquiry t () =
+  (match Value.newest t.replies with
+  | Some best ->
+    if best.Value.sn > current_sn t then t.register <- Some best
+  | None -> ());
+  match t.register with
+  | Some _ -> activate t
+  | None -> (
+    (* Empty inquiry round: only possible above the churn bound, where
+       Lemma 2 no longer guarantees a surviving replier. *)
+    match t.params.on_empty_inquiry with
+    | Adopt_bottom ->
+      t.register <- Some Value.bottom;
+      activate t
+    | Retry ->
+      t.join_retries <- t.join_retries + 1;
+      (match Network.metrics t.net with
+      | Some m -> Metrics.incr m "sync.join.retry"
+      | None -> ());
+      start_inquiry t)
+
+(* Lines 04-06: broadcast INQUIRY and wait the 2*delta round trip. *)
+and start_inquiry t =
+  t.replies <- [];
+  Network.broadcast t.net ~src:t.pid Inquiry;
+  set_timer t (inquiry_round_trip t.params) (finish_inquiry t)
+
+(* Line 03: inquire only if no write reached us during the wait. *)
+let after_join_wait t () =
+  match t.register with Some _ -> activate t | None -> start_inquiry t
+
+let handle t ~src msg =
+  if not t.left then
+    match msg with
+    | Inquiry ->
+      (* Lines 13-16. *)
+      if t.active then begin
+        let value = match t.register with Some v -> v | None -> assert false in
+        Network.send t.net ~src:t.pid ~dst:src (Reply value)
+      end
+      else if not (List.exists (Pid.equal src) t.reply_to) then
+        t.reply_to <- src :: t.reply_to
+    | Reply v ->
+      (* Line 17. *)
+      t.replies <- v :: t.replies
+    | Write_msg v ->
+      (* Figure 2, lines 03-04. *)
+      if v.Value.sn > current_sn t then t.register <- Some v
+
+let create ~sched ~net ~params ~pid ~initial ~on_active =
+  let t =
+    {
+      sched;
+      net;
+      params;
+      pid;
+      on_active;
+      register = initial;
+      replies = [];
+      reply_to = [];
+      active = false;
+      left = false;
+      op = Idle;
+      timers = [];
+      join_retries = 0;
+    }
+  in
+  Network.attach net pid (fun ~src msg -> handle t ~src msg);
+  (match initial with
+  | Some _ ->
+    (* Founding member: active from time 0 with the initial value. *)
+    activate t
+  | None ->
+    if params.join_wait then set_timer t params.delta (after_join_wait t)
+    else after_join_wait t ());
+  t
+
+let read t ~k =
+  if not t.active then invalid_arg "Sync_register.read: node is not active";
+  (* Fast read: purely local, responds in the same tick (Figure 2). *)
+  match t.register with Some v -> k v | None -> assert false
+
+let write t data ~k =
+  if not t.active then invalid_arg "Sync_register.write: node is not active";
+  if busy t then invalid_arg "Sync_register.write: node is busy";
+  let value = Value.make ~data ~sn:(current_sn t + 1) in
+  t.register <- Some value;
+  Network.broadcast t.net ~src:t.pid (Write_msg value);
+  t.op <- Writing { k };
+  (* Figure 2, line 02: the writer returns after delta ticks, by which
+     time every process present at the broadcast that stayed holds v. *)
+  set_timer t t.params.delta (fun () ->
+      t.op <- Idle;
+      k value)
+
+let leave t =
+  t.left <- true;
+  List.iter (Scheduler.cancel t.sched) t.timers;
+  t.timers <- [];
+  Network.detach t.net t.pid

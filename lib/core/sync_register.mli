@@ -1,0 +1,75 @@
+open Dds_net
+open Dds_spec
+
+(** The synchronous regular-register protocol (Section 3, Figures 1-2).
+
+    One writer, many readers, churn rate [c], message delay bound
+    [delta] known to everyone. Reads are {e fast}: purely local, no
+    messages, no waiting. The work happens at join time:
+
+    + the entering process waits [delta] ticks in listening mode — any
+      write in flight when it entered reaches the whole system within
+      that window, so the wait guarantees the joiner cannot have missed
+      a {e completed} write (Figure 3's counterexample is exactly what
+      happens without it);
+    + if no write arrived during the wait, it broadcasts [INQUIRY] and
+      waits the [2 delta] round-trip bound, then adopts the
+      highest-sequence-number reply;
+    + it then becomes active and answers the inquiries it postponed.
+
+    A write broadcasts [WRITE (v, sn)] and waits [delta] before
+    returning, so every process present at its start that stays holds
+    the value by completion. Correct when [c < 1/(3 delta)] (Theorem
+    1): during any join, at least [n (1 - 3 delta c) > 0] processes
+    that hold the last value stay to answer (Lemma 2).
+
+    Beyond the paper, [params] lets tests disable the initial wait
+    (reproducing Figure 3a's incorrect run) and controls what a joiner
+    does in the above-threshold regime where an inquiry round can come
+    back empty (the paper leaves this undefined: we re-inquire). *)
+
+type empty_inquiry_behavior =
+  | Retry
+      (** broadcast a fresh INQUIRY and wait another [2 delta] — a
+          hardening of the paper: joins may then fail to terminate
+          above the churn bound, but never adopt garbage *)
+  | Adopt_bottom
+      (** what Figure 1 does when read literally: line 07's maximum
+          over an empty reply set leaves [register = ⊥] and the
+          process activates anyway; later reads return ⊥ — the safety
+          collapse the [c < 1/(3 delta)] bound exists to prevent *)
+
+type params = {
+  delta : int;  (** the known delay bound; must match the network's *)
+  join_wait : bool;
+      (** line 02's [wait delta]. [false] reproduces Figure 3a. *)
+  on_empty_inquiry : empty_inquiry_behavior;
+      (** only reachable above the churn bound (Lemma 2 guarantees a
+          replier below it) *)
+  p2p_delta : int option;
+      (** footnote 4's optimization: when the point-to-point bound
+          delta' is tighter than the broadcast bound, the inquiry
+          round trip shrinks from [2 delta] to [delta + delta'].
+          Sound only with a network honouring the tighter bound
+          ({!Delay.synchronous_split}). [None]: the paper's plain
+          [wait (2 delta)]. *)
+}
+
+val default_params : delta:int -> params
+(** [join_wait = true], [on_empty_inquiry = Retry], [p2p_delta = None]. *)
+
+type msg =
+  | Inquiry  (** line 05: who has the current value? *)
+  | Reply of Value.t  (** lines 11, 14: an active process's copy *)
+  | Write_msg of Value.t  (** Figure 2: the disseminated write *)
+
+include Register_intf.PROTOCOL with type msg := msg and type params := params
+
+val join_retries : node -> int
+(** How many extra inquiry rounds this node needed (0 in any run within
+    the paper's churn bound; positive rounds witness threshold
+    violation). *)
+
+val joins_in_flight_reply_queue : node -> Pid.t list
+(** The [reply_to] set: joiners whose inquiries this (still joining)
+    node postponed. Exposed for white-box tests. *)

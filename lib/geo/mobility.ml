@@ -1,0 +1,26 @@
+type walker = {
+  width : float;
+  height : float;
+  speed_ : float;
+  mutable pos : Point.t;
+  mutable goal : Point.t;
+}
+
+let create rng ~width ~height ~speed =
+  if speed < 0.0 then invalid_arg "Mobility.create: negative speed";
+  if width <= 0.0 || height <= 0.0 then invalid_arg "Mobility.create: degenerate box";
+  let pos = Point.random_in_box rng ~width ~height in
+  let goal = Point.random_in_box rng ~width ~height in
+  { width; height; speed_ = speed; pos; goal }
+
+let position w = w.pos
+let speed w = w.speed_
+
+let step w rng =
+  if w.speed_ > 0.0 then begin
+    w.pos <- Point.towards ~from:w.pos ~goal:w.goal ~step:w.speed_;
+    if Point.distance w.pos w.goal = 0.0 then
+      w.goal <- Point.random_in_box rng ~width:w.width ~height:w.height
+  end
+
+let teleport w p = w.pos <- p

@@ -1,0 +1,27 @@
+open Dds_sim
+
+(** Random-waypoint walkers.
+
+    The standard mobility model for MANET evaluation: each walker
+    picks a uniform destination in the world box, moves towards it at
+    its speed (distance units per tick), and picks a new destination
+    on arrival. Walkers are pure state machines stepped by the zone
+    world each tick — they know nothing about protocols. *)
+
+type walker
+
+val create : Rng.t -> width:float -> height:float -> speed:float -> walker
+(** A walker at a uniform starting position with a first waypoint
+    already chosen.
+    @raise Invalid_argument if [speed < 0] or the box is degenerate. *)
+
+val position : walker -> Point.t
+
+val speed : walker -> float
+
+val step : walker -> Rng.t -> unit
+(** Advances one tick; picks a fresh waypoint upon arrival. *)
+
+val teleport : walker -> Point.t -> unit
+(** Test hook: place the walker somewhere specific (its waypoint is
+    kept, so it resumes wandering from there). *)

@@ -1,0 +1,22 @@
+type t = { x : float; y : float }
+
+let make ~x ~y = { x; y }
+let origin = { x = 0.0; y = 0.0 }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let within p ~center ~radius = distance p center <= radius
+
+let towards ~from ~goal ~step =
+  let d = distance from goal in
+  if d <= step || d = 0.0 then goal
+  else
+    let f = step /. d in
+    { x = from.x +. (f *. (goal.x -. from.x)); y = from.y +. (f *. (goal.y -. from.y)) }
+
+let random_in_box rng ~width ~height =
+  { x = Dds_sim.Rng.float rng width; y = Dds_sim.Rng.float rng height }
+
+let pp ppf p = Format.fprintf ppf "(%.1f, %.1f)" p.x p.y

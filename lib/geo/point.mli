@@ -1,0 +1,21 @@
+(** Plane geometry for the mobile-node world. *)
+
+type t = { x : float; y : float }
+
+val make : x:float -> y:float -> t
+
+val origin : t
+
+val distance : t -> t -> float
+
+val within : t -> center:t -> radius:float -> bool
+(** Euclidean membership of the disc (boundary inclusive). *)
+
+val towards : from:t -> goal:t -> step:float -> t
+(** The point [step] along the segment from [from] to [goal]; lands on
+    [goal] when the remaining distance is shorter than [step]. *)
+
+val random_in_box : Dds_sim.Rng.t -> width:float -> height:float -> t
+(** Uniform over [\[0,width\] x \[0,height\]]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+open Dds_sim
+type kind = Point_to_point | Broadcast
+
+type decision = { now : Time.t; src : Pid.t; dst : Pid.t; kind : kind }
+type adversary = decision -> int
+
+type t =
+  | Synchronous of { delta : int }
+  | Synchronous_split of { broadcast : int; p2p : int }
+  | Eventually_synchronous of { gst : Time.t; delta : int; wild : int }
+  | Asynchronous of { wild : int }
+  | Adversarial of adversary
+
+let synchronous ~delta =
+  if delta < 1 then invalid_arg "Delay.synchronous: delta must be >= 1";
+  Synchronous { delta }
+
+let synchronous_split ~broadcast ~p2p =
+  if p2p < 1 then invalid_arg "Delay.synchronous_split: p2p bound must be >= 1";
+  if broadcast < p2p then
+    invalid_arg "Delay.synchronous_split: broadcast bound must be >= p2p bound";
+  Synchronous_split { broadcast; p2p }
+
+let eventually_synchronous ~gst ~delta ~wild =
+  if delta < 1 then invalid_arg "Delay.eventually_synchronous: delta must be >= 1";
+  if wild < delta then invalid_arg "Delay.eventually_synchronous: wild must be >= delta";
+  Eventually_synchronous { gst; delta; wild }
+
+let asynchronous ~wild =
+  if wild < 1 then invalid_arg "Delay.asynchronous: wild must be >= 1";
+  Asynchronous { wild }
+
+let adversarial f = Adversarial f
+
+let sample t ~rng decision =
+  match t with
+  | Synchronous { delta } -> Rng.int_in_range rng ~lo:1 ~hi:delta
+  | Synchronous_split { broadcast; p2p } ->
+    let hi = match decision.kind with Broadcast -> broadcast | Point_to_point -> p2p in
+    Rng.int_in_range rng ~lo:1 ~hi
+  | Eventually_synchronous { gst; delta; wild } ->
+    let hi = if Time.(decision.now >= gst) then delta else wild in
+    Rng.int_in_range rng ~lo:1 ~hi
+  | Asynchronous { wild } -> Rng.int_in_range rng ~lo:1 ~hi:wild
+  | Adversarial f ->
+    let d = f decision in
+    if d < 1 then invalid_arg "Delay.sample: adversary returned a delay < 1";
+    d
+
+let known_bound = function
+  | Synchronous { delta } -> Some delta
+  | Synchronous_split { broadcast; _ } -> Some broadcast
+  | Eventually_synchronous _ | Asynchronous _ | Adversarial _ -> None
+
+let pp ppf = function
+  | Synchronous { delta } -> Format.fprintf ppf "synchronous(delta=%d)" delta
+  | Synchronous_split { broadcast; p2p } ->
+    Format.fprintf ppf "synchronous(broadcast<=%d,p2p<=%d)" broadcast p2p
+  | Eventually_synchronous { gst; delta; wild } ->
+    Format.fprintf ppf "eventually-synchronous(gst=%a,delta=%d,wild=%d)" Time.pp gst delta wild
+  | Asynchronous { wild } -> Format.fprintf ppf "asynchronous(wild=%d)" wild
+  | Adversarial _ -> Format.fprintf ppf "adversarial"

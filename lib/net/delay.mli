@@ -1,0 +1,78 @@
+open Dds_sim
+(** Message-delay models.
+
+    The three system types in the paper differ only in what they
+    guarantee about message transfer delays:
+
+    - {b Synchronous} (Section 3.2): every message/broadcast sent at
+      [tau] is delivered by [tau + delta], with [delta] known to the
+      processes.
+    - {b Eventually synchronous} (Section 5.1): there are a time [gst]
+      (global stabilization time) and a bound [delta], both unknowable
+      to the processes, such that anything sent at [tau' >= gst] is
+      delivered by [tau' + delta]. Messages sent earlier are delivered
+      eventually, with no bound.
+    - {b Fully asynchronous} (Section 4): no bound at all — the model
+      in which Theorem 2 shows the register impossible.
+
+    A {!t} also admits an {!adversary}: a deterministic function that
+    picks each delay, used to build the paper's constructed executions
+    (Figure 3, the new/old inversion, the impossibility witness). *)
+
+type kind =
+  | Point_to_point  (** [send m to p_j] *)
+  | Broadcast  (** the timely broadcast primitive *)
+
+type decision = {
+  now : Time.t;  (** send time *)
+  src : Pid.t;
+  dst : Pid.t;
+  kind : kind;
+}
+(** Everything an adversary may look at when choosing a delay. *)
+
+type adversary = decision -> int
+(** Must return a delay [>= 1]. *)
+
+type t =
+  | Synchronous of { delta : int }
+      (** Delays uniform in [\[1, delta\]]. [delta >= 1]. *)
+  | Synchronous_split of { broadcast : int; p2p : int }
+      (** Footnote 4's refinement: the broadcast primitive is bounded
+          by [broadcast] (the paper's delta) while point-to-point
+          responses respect a possibly tighter [p2p] (the paper's
+          delta'), letting the join shorten its inquiry wait from
+          [2 delta] to [delta + delta']. [p2p <= broadcast]. *)
+  | Eventually_synchronous of { gst : Time.t; delta : int; wild : int }
+      (** Before [gst], delays uniform in [\[1, wild\]] ([wild] is the
+          simulated stand-in for "finite but unbounded"); at or after
+          [gst], uniform in [\[1, delta\]]. *)
+  | Asynchronous of { wild : int }
+      (** No synchrony ever: delays uniform in [\[1, wild\]]. *)
+  | Adversarial of adversary
+      (** Fully scripted delays for constructed executions. *)
+
+val synchronous : delta:int -> t
+(** @raise Invalid_argument if [delta < 1]. *)
+
+val synchronous_split : broadcast:int -> p2p:int -> t
+(** @raise Invalid_argument if [p2p < 1] or [broadcast < p2p]. *)
+
+val eventually_synchronous : gst:Time.t -> delta:int -> wild:int -> t
+(** @raise Invalid_argument if [delta < 1] or [wild < delta]. *)
+
+val asynchronous : wild:int -> t
+(** @raise Invalid_argument if [wild < 1]. *)
+
+val adversarial : adversary -> t
+
+val sample : t -> rng:Rng.t -> decision -> int
+(** Draws the delay for one message. Always [>= 1].
+    @raise Invalid_argument if an adversary returns a delay [< 1]. *)
+
+val known_bound : t -> int option
+(** The delay bound processes may rely on: [Some delta] for the
+    synchronous model, [None] otherwise (eventual synchrony's [delta]
+    exists but is not knowable, so it is not exposed here). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,148 @@
+open Dds_sim
+
+type 'a handler = src:Pid.t -> 'a -> unit
+
+type broadcast_mode = Primitive | Flooding of { relay_depth : int }
+
+type 'a t = {
+  sched : Scheduler.t;
+  rng : Rng.t;
+  delay : Delay.t;
+  metrics : Metrics.t option;
+  trace : Trace.t option;
+  pp_msg : (Format.formatter -> 'a -> unit) option;
+  mode : broadcast_mode;
+  handlers : 'a handler Pid.Table.t;
+  mutable fault : (Delay.decision -> bool) option;
+  mutable flying : int;
+  mutable broadcast_counter : int;
+  flood_seen : (int * int * int, unit) Hashtbl.t;
+      (** (destination, origin, broadcast id) already delivered *)
+}
+
+let create ~sched ~rng ~delay ?metrics ?trace ?pp_msg ?(broadcast_mode = Primitive) () =
+  (match broadcast_mode with
+  | Flooding { relay_depth } when relay_depth < 1 ->
+    invalid_arg "Network.create: flooding relay depth must be >= 1"
+  | Flooding _ | Primitive -> ());
+  {
+    sched;
+    rng;
+    delay;
+    metrics;
+    trace;
+    pp_msg;
+    mode = broadcast_mode;
+    handlers = Pid.Table.create 64;
+    fault = None;
+    flying = 0;
+    broadcast_counter = 0;
+    flood_seen = Hashtbl.create 256;
+  }
+
+let bump t name = match t.metrics with Some m -> Metrics.incr m name | None -> ()
+
+let tracef t fmt_thunk =
+  match t.trace with
+  | Some tr when Trace.enabled tr -> fmt_thunk tr
+  | Some _ | None -> ()
+
+let pp_payload t ppf msg =
+  match t.pp_msg with Some pp -> pp ppf msg | None -> Format.pp_print_string ppf "<msg>"
+
+let attach t pid handler =
+  if Pid.Table.mem t.handlers pid then
+    invalid_arg (Format.asprintf "Network.attach: %a already attached" Pid.pp pid);
+  Pid.Table.replace t.handlers pid handler
+
+let detach t pid = Pid.Table.remove t.handlers pid
+let is_attached t pid = Pid.Table.mem t.handlers pid
+let attached t = Pid.Table.fold (fun pid _ acc -> pid :: acc) t.handlers []
+let attached_sorted t = List.sort Pid.compare (attached t)
+let set_fault t pred = t.fault <- Some pred
+let clear_fault t = t.fault <- None
+let in_flight t = t.flying
+let metrics t = t.metrics
+
+(* Schedules one point-to-point transmission; checks the fault
+   predicate at send time and attachment at delivery time. [on_arrival]
+   runs instead of the plain handler call when provided (flooding uses
+   it to dedup and relay). *)
+let transmit t ~kind ~src ~dst ?on_arrival msg =
+  let decision = { Delay.now = Scheduler.now t.sched; src; dst; kind } in
+  let faulted = match t.fault with Some pred -> pred decision | None -> false in
+  if faulted then begin
+    bump t "net.faulted";
+    tracef t (fun tr ->
+        Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net" "fault-drop %a->%a: %a"
+          Pid.pp src Pid.pp dst (pp_payload t) msg)
+  end
+  else begin
+    let d = Delay.sample t.delay ~rng:t.rng decision in
+    t.flying <- t.flying + 1;
+    ignore
+      (Scheduler.schedule_after t.sched d (fun () ->
+           t.flying <- t.flying - 1;
+           match Pid.Table.find_opt t.handlers dst with
+           | Some handler ->
+             bump t "net.delivered";
+             tracef t (fun tr ->
+                 Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net"
+                   "deliver %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg);
+             (match on_arrival with
+             | Some f -> f handler
+             | None -> handler ~src msg)
+           | None ->
+             (* Destination left the system before delivery. *)
+             bump t "net.dropped";
+             tracef t (fun tr ->
+                 Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net"
+                   "drop(left) %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg)))
+  end
+
+let send t ~src ~dst msg =
+  if Pid.Table.mem t.handlers dst then begin
+    bump t "net.sent";
+    transmit t ~kind:Delay.Point_to_point ~src ~dst msg
+  end
+  else bump t "net.dropped"
+
+(* One flooding hop: deliver-once at [dst], then relay to everyone the
+   relayer currently sees while hops remain. The per-destination seen
+   set makes delivery idempotent; relays travel as point-to-point
+   messages, so link faults only cost redundancy, not delivery. *)
+let rec flood_hop t ~origin ~id ~ttl ~src ~dst msg =
+  let on_arrival handler =
+    let key = (Pid.to_int dst, Pid.to_int origin, id) in
+    if Hashtbl.mem t.flood_seen key then bump t "net.duplicate"
+    else begin
+      Hashtbl.replace t.flood_seen key ();
+      handler ~src:origin msg;
+      if ttl > 0 then begin
+        let next = List.filter (fun y -> not (Pid.equal y dst)) (attached_sorted t) in
+        List.iter
+          (fun y ->
+            bump t "net.relayed";
+            flood_hop t ~origin ~id ~ttl:(ttl - 1) ~src:dst ~dst:y msg)
+          next
+      end
+    end
+  in
+  transmit t ~kind:Delay.Broadcast ~src ~dst ~on_arrival msg
+
+let broadcast t ~src msg =
+  bump t "net.broadcast";
+  match t.mode with
+  | Primitive ->
+    (* Snapshot the present set: only processes in the system at
+       broadcast time may deliver (timely-delivery property). Sorted so
+       that delay draws happen in a reproducible order. *)
+    List.iter
+      (fun dst -> transmit t ~kind:Delay.Broadcast ~src ~dst msg)
+      (attached_sorted t)
+  | Flooding { relay_depth } ->
+    let id = t.broadcast_counter in
+    t.broadcast_counter <- t.broadcast_counter + 1;
+    List.iter
+      (fun dst -> flood_hop t ~origin:src ~id ~ttl:(relay_depth - 1) ~src ~dst msg)
+      (attached_sorted t)

@@ -1,0 +1,109 @@
+open Dds_sim
+
+(** Reliable message-passing with pluggable synchrony.
+
+    Implements the two communication primitives of Sections 3.2 and
+    5.1 over the discrete-event scheduler:
+
+    - {b point-to-point} [send]: reliable (no loss, duplication or
+      corruption), delivered within the bound the {!Delay.t} model
+      grants;
+    - {b timely broadcast} ([broadcast]/deliver): the message reaches
+      every process {e present in the system at broadcast time} that
+      has not left by delivery time, within the same bound. A process
+      that enters afterwards does {e not} get it — this is exactly the
+      hazard motivating the join protocol's initial [delta] wait
+      (Figure 3).
+
+    Presence is tracked by handler attachment: a process in listening
+    mode (from the start of its [join], Section 2.1) is attached; a
+    process that leaves is detached, and anything still in flight
+    towards it is dropped at delivery time, since a departed process
+    "does no longer send or receive messages".
+
+    The payload type ['a] is the protocol's message type; each
+    deployment instantiates one network per protocol. *)
+
+type 'a t
+(** A network carrying ['a] payloads. *)
+
+type 'a handler = src:Pid.t -> 'a -> unit
+(** Invoked at delivery time, with the scheduler clock already advanced
+    to the delivery instant. *)
+
+(** How {!broadcast} disseminates.
+
+    [Primitive] is the paper's postulated service: one timely delivery
+    to every process present at broadcast time (Section 3.2).
+
+    [Flooding] {e implements} that service from point-to-point links,
+    discharging the assumption inside the model (the paper imports it
+    from Hadzilacos-Toueg [15] / Friedman-Raynal-Travers [10]): each
+    first delivery is relayed once to every process the relayer
+    currently sees, for up to [relay_depth] hops, with per-(origin,
+    broadcast) duplicate suppression at every process. Over links
+    bounded by [h], delivery to everyone present-and-staying happens
+    within [relay_depth * h] — so a protocol run over flooding must
+    take [delta = relay_depth * h]. Flooding is also more robust than
+    the primitive: processes that {e enter} during dissemination can
+    still be reached through relays, and single-link faults are routed
+    around. E17 measures the cost. *)
+type broadcast_mode =
+  | Primitive
+  | Flooding of { relay_depth : int }
+
+val create :
+  sched:Scheduler.t ->
+  rng:Rng.t ->
+  delay:Delay.t ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?pp_msg:(Format.formatter -> 'a -> unit) ->
+  ?broadcast_mode:broadcast_mode ->
+  unit ->
+  'a t
+(** A network with no attached processes. [metrics] (counters
+    [net.sent], [net.broadcast], [net.delivered], [net.dropped],
+    [net.faulted], [net.relayed], [net.duplicate]) and [trace] are
+    optional observability sinks; [pp_msg] renders payloads in traces.
+    [broadcast_mode] defaults to [Primitive].
+    @raise Invalid_argument if a [Flooding] relay depth is [< 1]. *)
+
+val attach : 'a t -> Pid.t -> 'a handler -> unit
+(** Puts a process in listening mode.
+    @raise Invalid_argument if the pid is already attached. *)
+
+val detach : 'a t -> Pid.t -> unit
+(** Removes a process (it has left the system). Unknown pids are
+    ignored: detaching twice is harmless. *)
+
+val is_attached : 'a t -> Pid.t -> bool
+
+val attached : 'a t -> Pid.t list
+(** Processes currently in the system, in unspecified order. *)
+
+val send : 'a t -> src:Pid.t -> dst:Pid.t -> 'a -> unit
+(** Point-to-point send. Delivery is scheduled even if [dst] is not
+    currently attached only when it {e is} attached at send time;
+    sending to an absent process silently drops (the sender "knows"
+    stale membership — the model allows that). Delivery checks
+    attachment again: a process that left meanwhile receives nothing. *)
+
+val broadcast : 'a t -> src:Pid.t -> 'a -> unit
+(** Timely broadcast to every attached process, including the sender. *)
+
+val set_fault : 'a t -> (Delay.decision -> bool) -> unit
+(** Installs a fault predicate: messages for which it returns [true]
+    are silently lost. This steps {e outside} the paper's reliable
+    network; it exists for failure-injection tests and is off by
+    default. *)
+
+val clear_fault : 'a t -> unit
+
+val in_flight : 'a t -> int
+(** Messages sent or broadcast but not yet delivered/dropped. *)
+
+val metrics : 'a t -> Metrics.t option
+(** The metrics sink this network reports to, if any — also used by
+    protocol nodes to record protocol-level counters (e.g. the
+    synchronous join's re-inquiry rounds) without extra plumbing. *)

@@ -1,0 +1,17 @@
+open Dds_net
+
+let threshold ~n =
+  if n <= 0 then invalid_arg "Majority.threshold: n must be positive";
+  (n / 2) + 1
+
+let is_quorum ~n ~size = size >= threshold ~n
+let max_simultaneously_absent ~n = n - threshold ~n
+let guaranteed_intersection ~n = (2 * threshold ~n) - n
+let sets_intersect a b = not (Pid.Set.is_empty (Pid.Set.inter a b))
+
+let all_pairwise_intersect quorums =
+  let rec loop = function
+    | [] -> true
+    | q :: rest -> List.for_all (sets_intersect q) rest && loop rest
+  in
+  loop quorums

@@ -1,0 +1,30 @@
+open Dds_net
+
+(** Majority-quorum arithmetic.
+
+    The eventually-synchronous protocol's waits are all majority
+    waits; this module centralizes the size computations and the
+    intersection reasoning its proofs rely on (two majorities of the
+    same [n] always share a process, which is how a join's reply set
+    is guaranteed to contain the last written value — Theorem 4). *)
+
+val threshold : n:int -> int
+(** [floor(n/2) + 1].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val is_quorum : n:int -> size:int -> bool
+(** [size >= threshold n]. *)
+
+val max_simultaneously_absent : n:int -> int
+(** How many of [n] processes can be non-active before the
+    majority-active assumption breaks: [n - threshold n]. *)
+
+val guaranteed_intersection : n:int -> int
+(** Minimum overlap of two majorities of the same [n]:
+    [2 * threshold n - n] (always [>= 1]). *)
+
+val sets_intersect : Pid.Set.t -> Pid.Set.t -> bool
+
+val all_pairwise_intersect : Pid.Set.t list -> bool
+(** Every pair of the given quorums shares at least one process — the
+    defining property of a quorum system. *)

@@ -1,0 +1,42 @@
+open Dds_sim
+open Dds_net
+open Dds_churn
+
+type t = { members : Pid.Set.t; acquired : Time.t; lifetime : int }
+
+let acquire ~membership ~rng ~now ~size ~lifetime =
+  if size <= 0 then invalid_arg "Timed_quorum.acquire: size must be positive";
+  if lifetime < 0 then invalid_arg "Timed_quorum.acquire: negative lifetime";
+  let active = Array.of_list (Membership.active membership) in
+  if Array.length active < size then None
+  else begin
+    Rng.shuffle_in_place rng active;
+    let members = ref Pid.Set.empty in
+    for i = 0 to size - 1 do
+      members := Pid.Set.add active.(i) !members
+    done;
+    Some { members = !members; acquired = now; lifetime }
+  end
+
+let expired t ~now = Time.diff now t.acquired > t.lifetime
+let survivors t membership = Pid.Set.filter (Membership.is_present membership) t.members
+let holds t membership ~threshold = Pid.Set.cardinal (survivors t membership) >= threshold
+
+let intersecting_survivors a b membership =
+  Pid.Set.inter (survivors a membership) (survivors b membership)
+
+let expected_survivors ~size ~c ~elapsed =
+  float_of_int size *. ((1.0 -. c) ** float_of_int elapsed)
+
+let recommended_size ~n ~c ~lifetime =
+  let majority = (n / 2) + 1 in
+  let rec search q =
+    if q >= n then n
+    else if expected_survivors ~size:q ~c ~elapsed:lifetime >= float_of_int majority then q
+    else search (q + 1)
+  in
+  search majority
+
+let pp ppf t =
+  Format.fprintf ppf "quorum(|%d| acquired=%a lifetime=%d)" (Pid.Set.cardinal t.members)
+    Time.pp t.acquired t.lifetime

@@ -1,0 +1,56 @@
+open Dds_sim
+open Dds_net
+open Dds_churn
+
+(** Timed quorums for dynamic systems — the paper's Section 7 future
+    work, after Gramoli & Raynal's Timed Quorum Systems (OPODIS 2007,
+    the paper's reference [13]).
+
+    A timed quorum is a set of processes sampled from the active
+    population, trusted only for a bounded lifetime: under churn rate
+    [c] with uniform departures, each member independently survives one
+    tick with probability [1 - c], so a quorum of size [q] still holds
+    [q * (1 - c)^t] members in expectation after [t] ticks. As long as
+    two quorums acquired within each other's lifetimes still intersect
+    with high probability, they can substitute for static majorities —
+    which is the road to letting {e any} process write at any time
+    (the paper's open question).
+
+    This module provides acquisition, decay tracking and the analytic
+    survival law; the E12 experiment measures empirical intersection
+    probabilities against it. *)
+
+type t = private {
+  members : Pid.Set.t;
+  acquired : Time.t;
+  lifetime : int;  (** ticks the quorum is trusted for *)
+}
+
+val acquire :
+  membership:Membership.t -> rng:Rng.t -> now:Time.t -> size:int -> lifetime:int -> t option
+(** Samples [size] distinct active processes uniformly. [None] when
+    fewer than [size] processes are active.
+    @raise Invalid_argument if [size <= 0] or [lifetime < 0]. *)
+
+val expired : t -> now:Time.t -> bool
+(** The trust window has passed. *)
+
+val survivors : t -> Membership.t -> Pid.Set.t
+(** Members still present (joining or active) now. *)
+
+val holds : t -> Membership.t -> threshold:int -> bool
+(** At least [threshold] members survive. *)
+
+val intersecting_survivors : t -> t -> Membership.t -> Pid.Set.t
+(** Present processes common to both quorums — what a reader's quorum
+    still shares with a writer's. *)
+
+val expected_survivors : size:int -> c:float -> elapsed:int -> float
+(** The analytic decay law [size * (1 - c)^elapsed]. *)
+
+val recommended_size : n:int -> c:float -> lifetime:int -> int
+(** Smallest [q] such that the {e expected} survivor count after
+    [lifetime] ticks still reaches a majority of [n]; capped at [n].
+    A rule of thumb, not a probabilistic guarantee. *)
+
+val pp : Format.formatter -> t -> unit

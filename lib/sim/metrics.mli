@@ -1,0 +1,26 @@
+(** Named counters for a simulated run.
+
+    Subsystems bump counters ("msg.sent", "msg.dropped", "churn.join",
+    ...) through a shared registry; experiment reports read them back
+    at the end of a run. Purely in-memory and per-deployment — not a
+    global singleton — so concurrent deployments never share state. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Adds 1 to the named counter, creating it at 0 first if needed. *)
+
+val add : t -> string -> int -> unit
+(** Adds an arbitrary amount. *)
+
+val get : t -> string -> int
+(** Current value; 0 for a counter never touched. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  callback : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type token = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable fired : int;
+  queue : event Heap.t;
+}
+
+let compare_events a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { clock = Time.zero; next_seq = 0; fired = 0; queue = Heap.create ~cmp:compare_events () }
+
+let now s = s.clock
+
+let schedule_at s time callback =
+  if Time.(time < s.clock) then
+    invalid_arg
+      (Format.asprintf "Scheduler.schedule_at: %a is in the past (now %a)" Time.pp time
+         Time.pp s.clock);
+  let ev = { time; seq = s.next_seq; callback; cancelled = false } in
+  s.next_seq <- s.next_seq + 1;
+  Heap.insert s.queue ev;
+  ev
+
+let schedule_after s d callback =
+  if d < 0 then invalid_arg "Scheduler.schedule_after: negative delay";
+  schedule_at s (Time.add s.clock d) callback
+
+let cancel _s token = token.cancelled <- true
+let pending s = Heap.length s.queue
+
+let step s =
+  let rec next () =
+    match Heap.pop s.queue with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+      s.clock <- ev.time;
+      s.fired <- s.fired + 1;
+      ev.callback ();
+      true
+  in
+  next ()
+
+let run_until s horizon =
+  let rec loop () =
+    match Heap.peek s.queue with
+    | Some ev when ev.cancelled ->
+      ignore (Heap.pop s.queue);
+      loop ()
+    | Some ev when Time.(ev.time <= horizon) ->
+      if step s then loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Time.(horizon > s.clock) then s.clock <- horizon
+
+let run s ?max_events () =
+  let budget = match max_events with None -> max_int | Some b -> b in
+  let rec loop remaining = if remaining > 0 && step s then loop (remaining - 1) in
+  loop budget
+
+let events_fired s = s.fired

@@ -1,0 +1,57 @@
+(** Discrete-event scheduler.
+
+    The heart of the simulation substrate: a virtual clock plus an
+    ordered queue of pending events. An event is an arbitrary callback
+    scheduled for a time point; events at the same time fire in the
+    order they were scheduled (FIFO tie-breaking via a sequence
+    number), which keeps whole executions deterministic.
+
+    Callbacks may schedule further events, including at the current
+    time (they fire later in the same tick). Scheduling in the past is
+    an error: the model's causality must be respected by construction. *)
+
+type t
+(** A scheduler instance: clock + event queue. *)
+
+type token
+(** Handle to a scheduled event, used to cancel it (e.g. a node's
+    pending timer when the node leaves the system). *)
+
+val create : unit -> t
+(** A scheduler with the clock at {!Time.zero} and no pending events. *)
+
+val now : t -> Time.t
+(** The current virtual time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> token
+(** [schedule_at s time f] queues [f] to run when the clock reaches
+    [time].
+    @raise Invalid_argument if [time] is before [now s]. *)
+
+val schedule_after : t -> int -> (unit -> unit) -> token
+(** [schedule_after s d f] is [schedule_at s (Time.add (now s) d) f].
+    @raise Invalid_argument if [d < 0]. *)
+
+val cancel : t -> token -> unit
+(** Cancels a pending event. Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    swept; useful only as an upper bound). *)
+
+val step : t -> bool
+(** Fires the single next event, advancing the clock to its time.
+    Returns [false] when the queue is empty (clock unchanged). *)
+
+val run_until : t -> Time.t -> unit
+(** [run_until s horizon] fires every event scheduled strictly before
+    or at [horizon], then sets the clock to [horizon]. *)
+
+val run : t -> ?max_events:int -> unit -> unit
+(** Runs until the queue is empty, or until [max_events] events have
+    fired ([max_events] guards against runaway executions; default
+    unlimited). *)
+
+val events_fired : t -> int
+(** Total number of callbacks executed so far. *)

@@ -1,0 +1,87 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : float array option; (* cache invalidated on add *)
+}
+
+let create () = { data = [||]; size = 0; sorted = None }
+
+let add s x =
+  let cap = Array.length s.data in
+  if s.size = cap then begin
+    let data = Array.make (if cap = 0 then 16 else cap * 2) 0.0 in
+    Array.blit s.data 0 data 0 s.size;
+    s.data <- data
+  end;
+  s.data.(s.size) <- x;
+  s.size <- s.size + 1;
+  s.sorted <- None
+
+let add_int s x = add s (float_of_int x)
+let count s = s.size
+
+let total s =
+  let acc = ref 0.0 in
+  for i = 0 to s.size - 1 do
+    acc := !acc +. s.data.(i)
+  done;
+  !acc
+
+let mean s = if s.size = 0 then nan else total s /. float_of_int s.size
+
+let fold f init s =
+  let acc = ref init in
+  for i = 0 to s.size - 1 do
+    acc := f !acc s.data.(i)
+  done;
+  !acc
+
+let min_value s = if s.size = 0 then nan else fold Float.min infinity s
+let max_value s = if s.size = 0 then nan else fold Float.max neg_infinity s
+
+let stddev s =
+  if s.size = 0 then nan
+  else begin
+    let m = mean s in
+    let sq = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 s in
+    sqrt (sq /. float_of_int s.size)
+  end
+
+let sorted_samples s =
+  match s.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.sub s.data 0 s.size in
+    Array.sort Float.compare arr;
+    s.sorted <- Some arr;
+    arr
+
+let percentile s p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  if s.size = 0 then nan
+  else begin
+    let arr = sorted_samples s in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int s.size)) in
+    let idx = Stdlib.max 0 (Stdlib.min (s.size - 1) (rank - 1)) in
+    arr.(idx)
+  end
+
+let median s = percentile s 50.0
+
+let merge a b =
+  let m = create () in
+  for i = 0 to a.size - 1 do
+    add m a.data.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add m b.data.(i)
+  done;
+  m
+
+let samples s = Array.sub s.data 0 s.size
+
+let pp_summary ppf s =
+  if s.size = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f" s.size (mean s) (median s)
+      (percentile s 99.0) (max_value s)

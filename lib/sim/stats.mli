@@ -1,0 +1,51 @@
+(** Streaming summary statistics.
+
+    Experiment runners accumulate per-operation observations (latencies
+    in ticks, message counts, staleness distances) into a {!t} and
+    report count/mean/min/max/percentiles at the end of a run. Samples
+    are kept, so percentiles are exact. *)
+
+type t
+(** A mutable collection of [float] samples. *)
+
+val create : unit -> t
+(** An empty collection. *)
+
+val add : t -> float -> unit
+(** Records one sample. *)
+
+val add_int : t -> int -> unit
+(** [add_int s x] is [add s (float_of_int x)]. *)
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val min_value : t -> float
+(** Smallest sample; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest sample; [nan] when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile s p] with [p] in [\[0, 100\]], nearest-rank method;
+    [nan] when empty.
+    @raise Invalid_argument if [p] is outside [\[0, 100\]]. *)
+
+val median : t -> float
+(** [median s] is [percentile s 50.0]. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh collection holding all samples of both. *)
+
+val samples : t -> float array
+(** A copy of the samples, in insertion order. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [count/mean/p50/p99/max] rendering. *)

@@ -1,0 +1,33 @@
+type entry = { time : Time.t; topic : string; detail : string }
+
+type t = { enabled : bool; mutable entries : entry list; mutable length : int }
+
+let create ?capacity:_ ~enabled () = { enabled; entries = []; length = 0 }
+let enabled t = t.enabled
+
+let record t ~time ~topic detail =
+  if t.enabled then begin
+    t.entries <- { time; topic; detail } :: t.entries;
+    t.length <- t.length + 1
+  end
+
+let recordf t ~time ~topic fmt =
+  if t.enabled then
+    Format.kasprintf (fun detail -> record t ~time ~topic detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t = List.rev t.entries
+
+let find t ~topic =
+  List.filter (fun e -> String.equal e.topic topic) (entries t)
+
+let length t = t.length
+
+let clear t =
+  t.entries <- [];
+  t.length <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%a] %-10s %s@." Time.pp e.time e.topic e.detail)
+    (entries t)

@@ -1,0 +1,40 @@
+(** Structured execution traces.
+
+    A trace records what happened in a simulated run — joins, leaves,
+    message sends and deliveries, operation invocations and responses —
+    as timestamped entries. Scenario tests assert against the trace;
+    the CLI can dump it for debugging. Recording is optional: a trace
+    created with [enabled:false] drops entries with no allocation, so
+    large sweeps pay nothing. *)
+
+type entry = { time : Time.t; topic : string; detail : string }
+(** One trace line: when, which subsystem, free-form description. *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [create ~enabled ()] is a trace sink. [capacity] is a hint for the
+    initial buffer size. *)
+
+val enabled : t -> bool
+
+val record : t -> time:Time.t -> topic:string -> string -> unit
+(** Appends an entry (no-op when disabled). *)
+
+val recordf :
+  t -> time:Time.t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Format-string variant of {!record}. The message is only built when
+    the trace is enabled. *)
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val find : t -> topic:string -> entry list
+(** Entries for one topic, oldest first. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Dumps the whole trace, one line per entry. *)

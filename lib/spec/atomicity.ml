@@ -1,0 +1,63 @@
+open Dds_sim
+
+type inversion = {
+  first : History.op;
+  second : History.op;
+  first_sn : int;
+  second_sn : int;
+}
+
+let read_like ~include_joins history =
+  let reads = History.completed_reads history in
+  let joins = if include_joins then History.completed_joins history else [] in
+  List.filter_map
+    (fun (o : History.op) ->
+      match (o.kind, o.responded) with
+      | (History.Read (Some v) | History.Join (Some v)), Some r -> Some (o, v, r)
+      | _, _ -> None)
+    (reads @ joins)
+
+let inversions ?(include_joins = false) history =
+  let ops = read_like ~include_joins history in
+  (* Sweep in invocation order while consuming a response-ordered queue:
+     [best] tracks the highest-sn read fully completed so far, so each
+     op is compared against the strongest earlier witness. *)
+  let by_invocation =
+    List.sort (fun (a, _, _) (b, _, _) -> Time.compare a.History.invoked b.History.invoked) ops
+  in
+  let by_response =
+    ref (List.sort (fun (_, _, ra) (_, _, rb) -> Time.compare ra rb) ops)
+  in
+  let best : (History.op * int) option ref = ref None in
+  let consider (o, (v : Value.t)) =
+    match !best with
+    | Some (_, sn) when sn >= v.Value.sn -> ()
+    | Some _ | None -> best := Some (o, v.Value.sn)
+  in
+  let found = ref [] in
+  List.iter
+    (fun ((o : History.op), (v : Value.t), _) ->
+      (* Absorb every read that responded strictly before o's invocation. *)
+      let rec absorb () =
+        match !by_response with
+        | (p, pv, resp) :: rest when Time.(resp < o.invoked) ->
+          consider (p, pv);
+          by_response := rest;
+          absorb ()
+        | _ -> ()
+      in
+      absorb ();
+      match !best with
+      | Some (witness, wsn) when wsn > v.Value.sn ->
+        found :=
+          { first = witness; second = o; first_sn = wsn; second_sn = v.Value.sn } :: !found
+      | Some _ | None -> ())
+    by_invocation;
+  List.rev !found
+
+let is_atomic history =
+  Regularity.is_ok (Regularity.check history) && inversions history = []
+
+let pp_inversion ppf i =
+  Format.fprintf ppf "%a (sn=%d) precedes %a (sn=%d)" History.pp_op i.first i.first_sn
+    History.pp_op i.second i.second_sn

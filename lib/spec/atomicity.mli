@@ -1,0 +1,29 @@
+(** New/old inversion detection.
+
+    A regular register may exhibit the {e new/old inversion} pictured
+    in the paper's introduction: two reads [r1], [r2] with [r1]
+    preceding [r2] in real time, where [r1] returns the value of a
+    {e newer} write than [r2] does. An atomic register is exactly a
+    regular register with no such inversion (for a single-writer
+    register this equivalence is folklore; see also Lamport [20]).
+
+    This checker finds inversions in a recorded history; the E1
+    experiment uses it to show the synchronous protocol is regular but
+    {e not} atomic, reproducing the introduction's scenario. *)
+
+type inversion = {
+  first : History.op;  (** the earlier read — returned the newer value *)
+  second : History.op;  (** the later read — returned the older value *)
+  first_sn : int;
+  second_sn : int;
+}
+
+val inversions : ?include_joins:bool -> History.t -> inversion list
+(** All witnessed inversions, judged with strict real-time precedence
+    ([first.responded < second.invoked]). [include_joins] (default
+    [false]) also treats join-adopted values as reads. *)
+
+val is_atomic : History.t -> bool
+(** Regular ({!Regularity.is_ok}) and inversion-free. *)
+
+val pp_inversion : Format.formatter -> inversion -> unit

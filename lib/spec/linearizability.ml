@@ -1,0 +1,59 @@
+open Dds_sim
+
+let recommended_max_ops = 9
+
+type event = { value : Value.t; is_write : bool; invoked : Time.t; responded : Time.t }
+
+let events_of history =
+  let ops = History.ops history in
+  let convert (o : History.op) =
+    match (o.History.kind, o.History.responded) with
+    | History.Write v, Some r ->
+      Some { value = v; is_write = true; invoked = o.History.invoked; responded = r }
+    | (History.Read (Some v) | History.Join (Some v)), Some r ->
+      Some { value = v; is_write = false; invoked = o.History.invoked; responded = r }
+    | _, _ -> None
+  in
+  if List.exists (fun (o : History.op) -> o.History.aborted || o.History.responded = None) ops
+  then None
+  else Some (List.filter_map convert ops)
+
+(* e1 must precede e2 in any linearization: strict real-time order,
+   plus the single writer's program order — consecutive writes may
+   share a tick boundary (response = next invocation) without being
+   reorderable, because they come from one sequential process. *)
+let precedes e1 e2 =
+  Time.(e1.responded < e2.invoked)
+  || (e1.is_write && e2.is_write && e1.value.Value.sn < e2.value.Value.sn)
+
+(* Depth-first search over linearization prefixes: at each step pick a
+   remaining event none of whose predecessors remain, apply the
+   sequential semantics, recurse. *)
+let linearizable ~initial events =
+  let rec search current remaining =
+    match remaining with
+    | [] -> true
+    | _ ->
+      List.exists
+        (fun candidate ->
+          let minimal =
+            not (List.exists (fun other -> precedes other candidate) remaining)
+          in
+          minimal
+          &&
+          if candidate.is_write then
+            search candidate.value
+              (List.filter (fun e -> e != candidate) remaining)
+          else
+            Value.same_data candidate.value current
+            && search current (List.filter (fun e -> e != candidate) remaining)
+        )
+        remaining
+  in
+  search initial events
+
+let check ?(max_ops = recommended_max_ops) history =
+  match events_of history with
+  | None -> None
+  | Some events when List.length events > max_ops -> None
+  | Some events -> Some (linearizable ~initial:(History.initial history) events)

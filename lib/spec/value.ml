@@ -1,0 +1,22 @@
+type t = { data : int; sn : int }
+
+let initial v = { data = v; sn = 0 }
+
+let make ~data ~sn =
+  if sn < 0 then invalid_arg "Value.make: negative sequence number";
+  { data; sn }
+
+let bottom = { data = min_int; sn = min_int }
+let is_bottom v = v.sn = min_int
+let newer a b = if b.sn > a.sn then b else a
+
+let newest = function
+  | [] -> None
+  | first :: rest -> Some (List.fold_left newer first rest)
+
+let equal a b = a.data = b.data && a.sn = b.sn
+let same_data a b = a.data = b.data
+let compare_sn a b = Int.compare a.sn b.sn
+let pp ppf t =
+  if is_bottom t then Format.pp_print_string ppf "_|_"
+  else Format.fprintf ppf "%d#%d" t.data t.sn

@@ -1,0 +1,50 @@
+(** Register values.
+
+    Both protocols pair the written datum with a sequence number
+    assigned by the writer; with a single (non-concurrent) writer the
+    sequence number totally orders the writes, which is what every
+    correctness argument in the paper leans on. The datum itself is an
+    [int] — the register's value domain is irrelevant to the
+    protocols. *)
+
+type t = { data : int; sn : int }
+(** [data] is the written value, [sn] its sequence number. *)
+
+val initial : int -> t
+(** [initial v] is the value every founding process holds at time 0:
+    datum [v], sequence number 0. *)
+
+val make : data:int -> sn:int -> t
+(** @raise Invalid_argument if [sn < 0]. *)
+
+val bottom : t
+(** The "no value" placeholder (the paper's ⊥): what a joiner holds
+    when, above the churn bound, its inquiry round comes back empty
+    and the protocol (read literally) activates it anyway. [bottom]
+    loses every sequence-number comparison, is never a written value,
+    and therefore turns into a safety violation the moment a read
+    returns it — exactly the failure mode the threshold guards
+    against. *)
+
+val is_bottom : t -> bool
+
+val newer : t -> t -> t
+(** The value with the strictly greater sequence number; the first
+    argument wins ties (matching the protocols' [if sn > sn_i] guard:
+    an equal incoming sn does not overwrite). *)
+
+val newest : t list -> t option
+(** Highest-sequence-number element; [None] on the empty list. *)
+
+val equal : t -> t -> bool
+
+val same_data : t -> t -> bool
+(** Datum equality, ignoring sequence numbers. The safety checkers
+    match values this way and therefore require workloads to write
+    pairwise-distinct data (which {!Regularity.check} verifies). *)
+
+val compare_sn : t -> t -> int
+(** Orders by sequence number only. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [<data>#<sn>]. *)

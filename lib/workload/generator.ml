@@ -1,0 +1,47 @@
+open Dds_sim
+open Dds_core
+
+type config = { read_rate : float; write_every : int; start : Time.t; until : Time.t }
+
+let default ~until = { read_rate = 1.0; write_every = 20; start = Time.of_int 1; until }
+
+module Make (D : Deployment.S) = struct
+  let reads_this_tick rng rate =
+    let base = int_of_float rate in
+    let frac = rate -. float_of_int base in
+    base + (if Rng.float rng 1.0 < frac then 1 else 0)
+
+  let tick d cfg () =
+    let rng = D.workload_rng d in
+    (* Writer first so reads of this tick can race with the write. *)
+    let now = Time.to_int (D.now d) in
+    if cfg.write_every > 0 && now mod cfg.write_every = 0 then begin
+      (* Re-elect on the fly if the previous writer left (footnote 1:
+         many writers are fine as long as writes never overlap, which
+         one-designation-at-a-time guarantees). *)
+      match D.elect_writer d with
+      | Some w ->
+        (match D.node d w with
+        | Some node
+          when D.Protocol.is_active node && not (D.Protocol.busy node) ->
+          D.write d w
+        | Some _ | None -> ())
+      | None -> ()
+    end;
+    let n_reads = reads_this_tick rng cfg.read_rate in
+    for _ = 1 to n_reads do
+      match D.random_idle_active d with
+      | Some pid -> D.read d pid
+      | None -> () (* nobody able to read this tick *)
+    done
+
+  let run d cfg =
+    let sched = D.scheduler d in
+    let rec schedule time =
+      if Time.(time <= cfg.until) then begin
+        ignore (Scheduler.schedule_at sched time (tick d cfg));
+        schedule (Time.add time 1)
+      end
+    in
+    schedule (Time.max cfg.start (Time.add (Scheduler.now sched) 1))
+end

@@ -1,0 +1,64 @@
+open Dds_net
+open Dds_spec
+
+(** The paper's constructed executions, reproduced as deterministic
+    scenarios (adversarially scheduled message delays, scripted
+    operation times). Each returns enough of the run's evidence for
+    tests to assert on and for the bench harness to print.
+
+    - {!fig3}: the Section 3.3 "why the join must wait delta"
+      execution (Figures 3a / 3b). A write completes while a process
+      joins; with the initial wait disabled the joiner adopts the old
+      value and a {e later} read returns it — a regularity violation.
+      With the wait (the actual protocol) the run is clean.
+    - {!inversion}: the introduction's new/old inversion — two
+      sequential reads returning values in write-opposite order, legal
+      for a regular register, flagged by the atomicity checker.
+    - {!async_staleness}: the Theorem 2 witness — under unbounded
+      delays plus churn, read staleness grows with the horizon: no
+      wait-based protocol can bound how stale reads get. *)
+
+type fig3_outcome = {
+  join_value : Value.t option;  (** value the joiner adopted *)
+  read_value : Value.t option;  (** the joiner's post-write read *)
+  report : Regularity.report;
+  join_duration : int option;  (** ticks the join took *)
+}
+
+val fig3 : join_wait:bool -> fig3_outcome
+(** [join_wait:false] is Figure 3a (exactly one violation expected);
+    [join_wait:true] is Figure 3b (clean). Uses delta = 5 and the
+    delay schedule described in the module source. *)
+
+type inversion_outcome = {
+  inversions : Atomicity.inversion list;
+  report : Regularity.report;
+  fast_read : Value.t option;  (** the earlier read (new value) *)
+  slow_read : Value.t option;  (** the later read (old value) *)
+}
+
+val inversion : unit -> inversion_outcome
+(** Expected: regular (no violation) but exactly one inversion. *)
+
+type async_outcome = {
+  staleness : Staleness.report;
+  completed_writes : int;
+  horizon : int;
+}
+
+val async_staleness : horizon:int -> async_outcome
+(** Runs the synchronous protocol over a network that silently ignores
+    its delay bound (delays are finite but enormous), with continuous
+    joins replacing readers. Staleness of the last read grows linearly
+    in [horizon]. *)
+
+val pid : int -> Pid.t
+(** Convenience re-export for callers asserting on specific processes. *)
+
+val es_inversion : read_repair:bool -> unit -> inversion_outcome
+(** The quorum protocol's own new/old inversion (E21): a stalled WRITE
+    dissemination lets an early read return the new value from the
+    writer\'s reply while a later, cut-off read returns the old one.
+    [read_repair:true] switches on the regular-to-atomic
+    transformation ({!Dds_core.Es_register.params}) and the inversion
+    must disappear. *)

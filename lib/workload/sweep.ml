@@ -1,0 +1,1079 @@
+open Dds_sim
+open Dds_net
+open Dds_churn
+open Dds_spec
+open Dds_core
+
+module Sync_d = Deployment.Make (Sync_register)
+module Es_d = Deployment.Make (Es_register)
+module Abd_d = Deployment.Make (Abd_register)
+module Sync_gen = Generator.Make (Sync_d)
+module Es_gen = Generator.Make (Es_d)
+module Abd_gen = Generator.Make (Abd_d)
+
+let time = Time.of_int
+
+let latency_of (o : History.op) =
+  Option.map (fun r -> Time.diff r o.History.invoked) o.History.responded
+
+let latency_stats ops =
+  let s = Stats.create () in
+  List.iter (fun o -> match latency_of o with Some l -> Stats.add_int s l | None -> ()) ops;
+  s
+
+let is_read (o : History.op) =
+  match o.History.kind with History.Read _ -> true | _ -> false
+
+let is_write (o : History.op) =
+  match o.History.kind with History.Write _ -> true | _ -> false
+
+let is_join (o : History.op) =
+  match o.History.kind with History.Join _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* E4 *)
+
+type lemma2_row = {
+  l2_c : float;
+  l2_ratio : float;
+  l2_bound : float;
+  l2_measured_min : int;
+  l2_instant_min : int;
+}
+
+let lemma2 ~n ~delta ~ratios ~horizon ~seed =
+  List.map
+    (fun ratio ->
+      let c = ratio /. (3.0 *. float_of_int delta) in
+      let cfg =
+        {
+          (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+             ~churn_rate:c)
+          with
+          Deployment.churn_policy = Churn.Active_first;
+        }
+      in
+      let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
+      Sync_d.start_churn d ~until:(time horizon);
+      Sync_d.run_until d (time (horizon + (4 * delta)));
+      let analysis = Sync_d.analysis d in
+      let warmup = 4 * delta in
+      let _, window_min =
+        Analysis.min_active_window analysis ~window:(3 * delta) ~from_:(time warmup)
+          ~until:(time (horizon - (3 * delta) - 1))
+      in
+      let _, instant_min =
+        Analysis.min_active analysis ~from_:(time warmup) ~until:(time (horizon - 1))
+      in
+      {
+        l2_c = c;
+        l2_ratio = ratio;
+        l2_bound = float_of_int n *. (1.0 -. (3.0 *. float_of_int delta *. c));
+        l2_measured_min = window_min;
+        l2_instant_min = instant_min;
+      })
+    ratios
+
+(* ------------------------------------------------------------------ *)
+(* E5 *)
+
+type safety_row = {
+  sf_ratio : float;
+  sf_c : float;
+  sf_runs : int;
+  sf_violations : int;
+  sf_runs_with_violation : int;
+  sf_join_retries : int;
+  sf_incomplete_joins : int;
+}
+
+let sync_safety ?(on_empty = Sync_register.Retry) ~n ~delta ~ratios ~seeds ~horizon () =
+  List.map
+    (fun ratio ->
+      let c = ratio /. (3.0 *. float_of_int delta) in
+      let totals = ref (0, 0, 0, 0) in
+      List.iter
+        (fun seed ->
+          let cfg =
+            {
+              (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+                 ~churn_rate:c)
+              with
+              Deployment.churn_policy = Churn.Active_first;
+            }
+          in
+          let d =
+            Sync_d.create cfg
+              { (Sync_register.default_params ~delta) with Sync_register.on_empty_inquiry = on_empty }
+          in
+          Sync_d.start_churn d ~until:(time horizon);
+          Sync_gen.run d
+            { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
+              until = time horizon };
+          Sync_d.run_until d (time (horizon + (4 * delta)));
+          let report = Sync_d.regularity d in
+          let violations = List.length report.Regularity.violations in
+          let retries = Metrics.get (Sync_d.metrics d) "sync.join.retry" in
+          let pending_joins =
+            List.length (List.filter is_join (History.pending (Sync_d.history d)))
+          in
+          let v, rwv, jr, pj = !totals in
+          totals :=
+            ( v + violations,
+              (rwv + if violations > 0 then 1 else 0),
+              jr + retries,
+              pj + pending_joins ))
+        seeds;
+      let v, rwv, jr, pj = !totals in
+      {
+        sf_ratio = ratio;
+        sf_c = c;
+        sf_runs = List.length seeds;
+        sf_violations = v;
+        sf_runs_with_violation = rwv;
+        sf_join_retries = jr;
+        sf_incomplete_joins = pj;
+      })
+    ratios
+
+(* ------------------------------------------------------------------ *)
+(* E6 / E8 *)
+
+type latency_row = {
+  lat_protocol : string;
+  lat_phase : string;
+  lat_op : string;
+  lat_stats : Stats.t;
+}
+
+let rows_for ~protocol ~phase ops =
+  [
+    { lat_protocol = protocol; lat_phase = phase; lat_op = "join";
+      lat_stats = latency_stats (List.filter is_join ops) };
+    { lat_protocol = protocol; lat_phase = phase; lat_op = "read";
+      lat_stats = latency_stats (List.filter is_read ops) };
+    { lat_protocol = protocol; lat_phase = phase; lat_op = "write";
+      lat_stats = latency_stats (List.filter is_write ops) };
+  ]
+
+let completed_ops history =
+  List.filter
+    (fun (o : History.op) -> (not o.History.aborted) && o.History.responded <> None)
+    (History.ops history)
+
+let sync_latency ~n ~delta ~c ~horizon ~seed =
+  let cfg =
+    Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:c
+  in
+  let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
+  Sync_d.start_churn d ~until:(time horizon);
+  Sync_gen.run d
+    { Generator.read_rate = 1.0; write_every = 4 * delta; start = time 1;
+      until = time horizon };
+  Sync_d.run_until d (time (horizon + (4 * delta)));
+  rows_for ~protocol:"sync" ~phase:"synchronous" (completed_ops (Sync_d.history d))
+
+let es_latency ~n ~gst ~delta ~wild ~horizon ~seed =
+  let delay = Delay.eventually_synchronous ~gst:(time gst) ~delta ~wild in
+  let cfg = Deployment.default_config ~seed ~n ~delay ~churn_rate:0.005 in
+  let d = Es_d.create cfg (Es_register.default_params ~n) in
+  Es_d.start_churn d ~until:(time horizon);
+  Es_gen.run d
+    { Generator.read_rate = 0.3; write_every = 10 * delta; start = time 1;
+      until = time horizon };
+  Es_d.run_until d (time (horizon + (20 * wild)));
+  let ops = completed_ops (Es_d.history d) in
+  let pre, post =
+    List.partition (fun (o : History.op) -> Time.to_int o.History.invoked < gst) ops
+  in
+  rows_for ~protocol:"es" ~phase:"pre-GST" pre @ rows_for ~protocol:"es" ~phase:"post-GST" post
+
+(* ------------------------------------------------------------------ *)
+(* E7 *)
+
+type async_row = {
+  as_horizon : int;
+  as_completed_writes : int;
+  as_max_staleness : int;
+  as_mean_staleness : float;
+}
+
+let async_series ~horizons =
+  List.map
+    (fun horizon ->
+      let o = Scenario.async_staleness ~horizon in
+      {
+        as_horizon = horizon;
+        as_completed_writes = o.Scenario.completed_writes;
+        as_max_staleness = o.Scenario.staleness.Staleness.max_staleness;
+        as_mean_staleness = Stats.mean o.Scenario.staleness.Staleness.stats;
+      })
+    horizons
+
+(* ------------------------------------------------------------------ *)
+(* E9 *)
+
+type boundary_row = {
+  bd_c : float;
+  bd_completed : int;
+  bd_pending : int;
+  bd_aborted : int;
+  bd_min_active : int;
+  bd_majority : int;
+  bd_violations : int;
+}
+
+let es_boundary ~n ~rates ~horizon ~seed =
+  List.map
+    (fun c ->
+      let cfg =
+        {
+          (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:3)
+             ~churn_rate:c)
+          with
+          Deployment.churn_policy = Churn.Active_first;
+        }
+      in
+      let d = Es_d.create cfg (Es_register.default_params ~n) in
+      Es_d.start_churn d ~until:(time horizon);
+      Es_gen.run d
+        { Generator.read_rate = 0.5; write_every = 25; start = time 1; until = time horizon };
+      Es_d.run_until d (time (horizon + 50));
+      let h = Es_d.history d in
+      let analysis = Es_d.analysis d in
+      let _, min_active = Analysis.min_active analysis ~from_:(time 10) ~until:(time horizon) in
+      {
+        bd_c = c;
+        bd_completed = List.length (completed_ops h);
+        bd_pending = List.length (History.pending h);
+        bd_aborted = List.length (History.aborted h);
+        bd_min_active = min_active;
+        bd_majority = (n / 2) + 1;
+        bd_violations = List.length (Es_d.regularity d).Regularity.violations;
+      })
+    rates
+
+(* ------------------------------------------------------------------ *)
+(* E10 *)
+
+type versus_row = {
+  vs_protocol : string;
+  vs_completed : int;
+  vs_pending : int;
+  vs_violations : int;
+  vs_last_completed_at : int;
+  vs_founders_alive_at_end : int;
+}
+
+let last_completed_tick history =
+  List.fold_left
+    (fun acc (o : History.op) ->
+      match o.History.responded with
+      | Some r when not o.History.aborted -> Stdlib.max acc (Time.to_int r)
+      | _ -> acc)
+    0 (History.ops history)
+
+let founders_alive membership ~n =
+  List.length
+    (List.filter
+       (fun pid -> Pid.to_int pid < n)
+       (Membership.present membership))
+
+let abd_vs_dynamic ~n ~delta ~c ~horizon ~seed =
+  let gen_cfg =
+    { Generator.read_rate = 0.5; write_every = 10 * delta; start = time 1;
+      until = time horizon }
+  in
+  let base_cfg =
+    Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:c
+  in
+  let run_sync () =
+    let d = Sync_d.create base_cfg (Sync_register.default_params ~delta) in
+    Sync_d.start_churn d ~until:(time horizon);
+    Sync_gen.run d gen_cfg;
+    Sync_d.run_until d (time (horizon + 50));
+    let h = Sync_d.history d in
+    {
+      vs_protocol = "sync";
+      vs_completed = List.length (completed_ops h);
+      vs_pending = List.length (History.pending h);
+      vs_violations = List.length (Sync_d.regularity d).Regularity.violations;
+      vs_last_completed_at = last_completed_tick h;
+      vs_founders_alive_at_end = founders_alive (Sync_d.membership d) ~n;
+    }
+  in
+  let run_es () =
+    let d = Es_d.create base_cfg (Es_register.default_params ~n) in
+    Es_d.start_churn d ~until:(time horizon);
+    Es_gen.run d gen_cfg;
+    Es_d.run_until d (time (horizon + 50));
+    let h = Es_d.history d in
+    {
+      vs_protocol = "es";
+      vs_completed = List.length (completed_ops h);
+      vs_pending = List.length (History.pending h);
+      vs_violations = List.length (Es_d.regularity d).Regularity.violations;
+      vs_last_completed_at = last_completed_tick h;
+      vs_founders_alive_at_end = founders_alive (Es_d.membership d) ~n;
+    }
+  in
+  let run_abd () =
+    let d = Abd_d.create base_cfg (Abd_register.default_params ~group_size:n) in
+    Abd_d.start_churn d ~until:(time horizon);
+    Abd_gen.run d gen_cfg;
+    Abd_d.run_until d (time (horizon + 50));
+    let h = Abd_d.history d in
+    {
+      vs_protocol = "abd";
+      vs_completed = List.length (completed_ops h);
+      vs_pending = List.length (History.pending h);
+      vs_violations = List.length (Abd_d.regularity d).Regularity.violations;
+      vs_last_completed_at = last_completed_tick h;
+      vs_founders_alive_at_end = founders_alive (Abd_d.membership d) ~n;
+    }
+  in
+  [ run_sync (); run_es (); run_abd () ]
+
+(* ------------------------------------------------------------------ *)
+(* E11 *)
+
+type msg_row = {
+  mc_protocol : string;
+  mc_n : int;
+  mc_per_read : float;
+  mc_per_write : float;
+  mc_per_join : float;
+}
+
+(* Transmissions = every scheduled point-to-point delivery attempt
+   (a broadcast to n processes counts n). *)
+let transmissions metrics =
+  Metrics.get metrics "net.delivered" + Metrics.get metrics "net.dropped"
+  + Metrics.get metrics "net.faulted"
+
+(* Runs [ops] identical operations with no churn and divides the
+   transmission delta by the count. [quiesce] must run the system to
+   quiescence between phases. *)
+let measure_phase ~metrics ~quiesce ~ops ~issue =
+  quiesce ();
+  let before = transmissions metrics in
+  for i = 1 to ops do
+    issue i;
+    quiesce ()
+  done;
+  float_of_int (transmissions metrics - before) /. float_of_int ops
+
+let msg_complexity ~ns ~delta ~seed =
+  let ops = 10 in
+  List.concat_map
+    (fun n ->
+      let cfg =
+        Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:0.0
+      in
+      let sync_row =
+        let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
+        let metrics = Sync_d.metrics d in
+        let quiesce () = Sync_d.run_to_quiescence d () in
+        let writer = Option.get (Sync_d.writer d) in
+        let per_read =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> Sync_d.read d (Pid.of_int 1))
+        in
+        let per_write =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> Sync_d.write d writer)
+        in
+        let per_join =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> ignore (Sync_d.spawn d))
+        in
+        { mc_protocol = "sync"; mc_n = n; mc_per_read = per_read; mc_per_write = per_write;
+          mc_per_join = per_join }
+      in
+      let es_row =
+        let d = Es_d.create cfg (Es_register.default_params ~n) in
+        let metrics = Es_d.metrics d in
+        let quiesce () = Es_d.run_to_quiescence d () in
+        let writer = Option.get (Es_d.writer d) in
+        let per_read =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> Es_d.read d (Pid.of_int 1))
+        in
+        let per_write =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> Es_d.write d writer)
+        in
+        let per_join =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> ignore (Es_d.spawn d))
+        in
+        { mc_protocol = "es"; mc_n = n; mc_per_read = per_read; mc_per_write = per_write;
+          mc_per_join = per_join }
+      in
+      let abd_row =
+        let d = Abd_d.create cfg (Abd_register.default_params ~group_size:n) in
+        let metrics = Abd_d.metrics d in
+        let quiesce () = Abd_d.run_to_quiescence d () in
+        let writer = Option.get (Abd_d.writer d) in
+        let per_read =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> Abd_d.read d (Pid.of_int 1))
+        in
+        let per_write =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> Abd_d.write d writer)
+        in
+        let per_join =
+          measure_phase ~metrics ~quiesce ~ops ~issue:(fun _ -> ignore (Abd_d.spawn d))
+        in
+        { mc_protocol = "abd"; mc_n = n; mc_per_read = per_read; mc_per_write = per_write;
+          mc_per_join = per_join }
+      in
+      [ sync_row; es_row; abd_row ])
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* E12 *)
+
+type tq_row = {
+  tq_c : float;
+  tq_size : int;
+  tq_lifetime : int;
+  tq_hold_rate : float;
+  tq_expected_survivors : float;
+  tq_measured_survivors : float;
+  tq_intersect_rate : float;
+}
+
+let timed_quorum ~n ~cs ~lifetime ~trials ~seed =
+  List.map
+    (fun c ->
+      let size = (n / 2) + 1 in
+      let held = ref 0 and intersected = ref 0 and survivors_total = ref 0 in
+      for trial = 1 to trials do
+        let rng = Rng.create ~seed:(seed + (trial * 7919)) in
+        let sched = Scheduler.create () in
+        let membership = Membership.create () in
+        let gen = Pid.generator () in
+        for _ = 1 to n do
+          let p = Pid.fresh gen in
+          Membership.add membership p ~now:Time.zero;
+          Membership.set_active membership p ~now:Time.zero
+        done;
+        let spawn () =
+          let p = Pid.fresh gen in
+          Membership.add membership p ~now:(Scheduler.now sched);
+          Membership.set_active membership p ~now:(Scheduler.now sched)
+        in
+        let retire p = Membership.remove membership p ~now:(Scheduler.now sched) in
+        let churn =
+          Churn.create ~sched ~rng:(Rng.split rng) ~membership ~n ~rate:c ~spawn ~retire ()
+        in
+        Churn.start churn ~until:(time (lifetime + 2));
+        let qa =
+          Dds_quorum.Timed_quorum.acquire ~membership ~rng ~now:Time.zero ~size ~lifetime
+        in
+        let qb =
+          Dds_quorum.Timed_quorum.acquire ~membership ~rng ~now:Time.zero ~size ~lifetime
+        in
+        Scheduler.run_until sched (time lifetime);
+        match (qa, qb) with
+        | Some qa, Some qb ->
+          let surv = Dds_quorum.Timed_quorum.survivors qa membership in
+          survivors_total := !survivors_total + Pid.Set.cardinal surv;
+          if Dds_quorum.Timed_quorum.holds qa membership ~threshold:((size / 2) + 1) then
+            incr held;
+          if
+            not
+              (Pid.Set.is_empty
+                 (Dds_quorum.Timed_quorum.intersecting_survivors qa qb membership))
+          then incr intersected
+        | _ -> ()
+      done;
+      let ft = float_of_int trials in
+      {
+        tq_c = c;
+        tq_size = size;
+        tq_lifetime = lifetime;
+        tq_hold_rate = float_of_int !held /. ft;
+        tq_expected_survivors =
+          Dds_quorum.Timed_quorum.expected_survivors ~size ~c ~elapsed:lifetime;
+        tq_measured_survivors = float_of_int !survivors_total /. ft;
+        tq_intersect_rate = float_of_int !intersected /. ft;
+      })
+    cs
+
+(* ------------------------------------------------------------------ *)
+(* E13 *)
+
+type threshold_row = {
+  th_delta : int;
+  th_paper_bound : float;
+  th_empirical : float;
+  th_step : float;
+  th_ratio : float;
+}
+
+(* One probe run at rate [c]; returns true when the run was clean:
+   no safety violation and no join stuck at the horizon. *)
+let sync_probe ~n ~delta ~seed ~horizon c =
+  let cfg =
+    {
+      (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:c)
+      with
+      Deployment.churn_policy = Churn.Active_first;
+    }
+  in
+  let d =
+    Sync_d.create cfg
+      {
+        (Sync_register.default_params ~delta) with
+        Sync_register.on_empty_inquiry = Sync_register.Adopt_bottom;
+      }
+  in
+  Sync_d.start_churn d ~until:(time horizon);
+  Sync_gen.run d
+    { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
+      until = time horizon };
+  Sync_d.run_until d (time (horizon + (4 * delta)));
+  let report = Sync_d.regularity d in
+  let stuck =
+    List.exists is_join (History.pending (Sync_d.history d))
+  in
+  report.Regularity.violations = [] && not stuck
+
+let churn_threshold ~n ~deltas ~seeds ~horizon =
+  List.map
+    (fun delta ->
+      let bound = 1.0 /. (3.0 *. float_of_int delta) in
+      let step = bound /. 10.0 in
+      (* Scan upward from the paper bound's first decile until a probe
+         fails for some seed; cap the scan at 4x the bound. *)
+      let clean c = List.for_all (fun seed -> sync_probe ~n ~delta ~seed ~horizon c) seeds in
+      let rec scan c best =
+        if c > 4.0 *. bound || c >= 0.99 then best
+        else if clean c then scan (c +. step) c
+        else best
+      in
+      let empirical = scan step 0.0 in
+      {
+        th_delta = delta;
+        th_paper_bound = bound;
+        th_empirical = empirical;
+        th_step = step;
+        th_ratio = empirical /. bound;
+      })
+    deltas
+
+(* ------------------------------------------------------------------ *)
+(* E14 *)
+
+type burst_row = {
+  br_label : string;
+  br_avg_c : float;
+  br_peak_c : float;
+  br_violations : int;
+  br_stuck_joins : int;
+  br_runs : int;
+}
+
+let bursty_churn ~n ~delta ~seeds ~horizon =
+  let threshold = 1.0 /. (3.0 *. float_of_int delta) in
+  let avg = 0.6 *. threshold in
+  (* Same average rate, increasing peakedness: constant; peak at the
+     threshold; peak well above it. Period 40 ticks, 10-tick bursts. *)
+  let period = 40 and burst = 10 in
+  let mk_peak peak =
+    (* base so that (base*(period-burst) + peak*burst)/period = avg *)
+    let base =
+      ((avg *. float_of_int period) -. (peak *. float_of_int burst))
+      /. float_of_int (period - burst)
+    in
+    (Stdlib.max 0.0 base, peak)
+  in
+  let profiles =
+    [
+      ("constant", Churn.Constant avg, avg);
+      (let base, peak = mk_peak threshold in
+       ( "peak = bound",
+         Churn.Bursty { base; peak; period; burst },
+         peak ));
+      (let base, peak = mk_peak (2.0 *. threshold) in
+       ("peak = 2x bound", Churn.Bursty { base; peak; period; burst }, peak));
+      (let base, peak = mk_peak (3.2 *. threshold) in
+       ("peak = 3.2x bound", Churn.Bursty { base; peak; period; burst }, peak));
+    ]
+  in
+  List.map
+    (fun (label, profile, peak) ->
+      let violations = ref 0 and stuck = ref 0 in
+      List.iter
+        (fun seed ->
+          let cfg =
+            {
+              (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+                 ~churn_rate:avg)
+              with
+              Deployment.churn_profile = Some profile;
+              Deployment.churn_policy = Churn.Active_first;
+            }
+          in
+          let d =
+            Sync_d.create cfg
+              {
+                (Sync_register.default_params ~delta) with
+                Sync_register.on_empty_inquiry = Sync_register.Adopt_bottom;
+              }
+          in
+          Sync_d.start_churn d ~until:(time horizon);
+          Sync_gen.run d
+            { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
+              until = time horizon };
+          Sync_d.run_until d (time (horizon + (4 * delta)));
+          violations :=
+            !violations + List.length (Sync_d.regularity d).Regularity.violations;
+          stuck :=
+            !stuck
+            + List.length (List.filter is_join (History.pending (Sync_d.history d))))
+        seeds;
+      {
+        br_label = label;
+        br_avg_c = avg;
+        br_peak_c = peak;
+        br_violations = !violations;
+        br_stuck_joins = !stuck;
+        br_runs = List.length seeds;
+      })
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* E15 *)
+
+type loss_row = {
+  ls_protocol : string;
+  ls_loss : float;
+  ls_completed : int;
+  ls_pending : int;
+  ls_violations : int;
+}
+
+let message_loss ~n ~delta ~losses ~horizon ~seed =
+  let gen_cfg =
+    { Generator.read_rate = 0.5; write_every = 5 * delta; start = time 1;
+      until = time horizon }
+  in
+  List.concat_map
+    (fun loss ->
+      let cfg =
+        Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+          ~churn_rate:0.01
+      in
+      let fault rng (_ : Delay.decision) = Rng.float rng 1.0 < loss in
+      let sync_row =
+        let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
+        if loss > 0.0 then
+          Network.set_fault (Sync_d.network d) (fault (Rng.create ~seed:(seed + 1)));
+        Sync_d.start_churn d ~until:(time horizon);
+        Sync_gen.run d gen_cfg;
+        Sync_d.run_until d (time (horizon + (4 * delta)));
+        let h = Sync_d.history d in
+        {
+          ls_protocol = "sync";
+          ls_loss = loss;
+          ls_completed = List.length (completed_ops h);
+          ls_pending = List.length (History.pending h);
+          ls_violations = List.length (Sync_d.regularity d).Regularity.violations;
+        }
+      in
+      let es_row =
+        let d = Es_d.create cfg (Es_register.default_params ~n) in
+        if loss > 0.0 then
+          Network.set_fault (Es_d.network d) (fault (Rng.create ~seed:(seed + 2)));
+        Es_d.start_churn d ~until:(time horizon);
+        Es_gen.run d gen_cfg;
+        Es_d.run_until d (time (horizon + (4 * delta)));
+        let h = Es_d.history d in
+        {
+          ls_protocol = "es";
+          ls_loss = loss;
+          ls_completed = List.length (completed_ops h);
+          ls_pending = List.length (History.pending h);
+          ls_violations = List.length (Es_d.regularity d).Regularity.violations;
+        }
+      in
+      [ sync_row; es_row ])
+    losses
+
+(* ------------------------------------------------------------------ *)
+(* E16 *)
+
+type join_opt_row = {
+  jo_variant : string;
+  jo_p2p : int;
+  jo_join_mean : float;
+  jo_join_max : float;
+  jo_joins : int;
+  jo_violations : int;
+}
+
+let join_wait_optimization ~n ~delta ~p2ps ~horizon ~seed =
+  let run ~variant ~p2p ~params =
+    let cfg =
+      Deployment.default_config ~seed ~n
+        ~delay:(Delay.synchronous_split ~broadcast:delta ~p2p)
+        ~churn_rate:0.02
+    in
+    let d = Sync_d.create cfg params in
+    Sync_d.start_churn d ~until:(time horizon);
+    Sync_gen.run d
+      { Generator.read_rate = 0.5; write_every = 5 * delta; start = time 1;
+        until = time horizon };
+    Sync_d.run_until d (time (horizon + (4 * delta)));
+    let joins = List.filter is_join (completed_ops (Sync_d.history d)) in
+    let stats = latency_stats joins in
+    {
+      jo_variant = variant;
+      jo_p2p = p2p;
+      jo_join_mean = Stats.mean stats;
+      jo_join_max = Stats.max_value stats;
+      jo_joins = Stats.count stats;
+      jo_violations = List.length (Sync_d.regularity d).Regularity.violations;
+    }
+  in
+  let baseline =
+    run ~variant:"wait 2*delta (paper)" ~p2p:delta
+      ~params:(Sync_register.default_params ~delta)
+  in
+  baseline
+  :: List.map
+       (fun p2p ->
+         run
+           ~variant:(Printf.sprintf "wait delta+%d (footnote 4)" p2p)
+           ~p2p
+           ~params:
+             { (Sync_register.default_params ~delta) with Sync_register.p2p_delta = Some p2p })
+       p2ps
+
+(* ------------------------------------------------------------------ *)
+(* E17 *)
+
+type broadcast_row = {
+  bc_mode : string;
+  bc_loss : float;
+  bc_completed : int;
+  bc_violations : int;
+  bc_transmissions : int;
+}
+
+let broadcast_robustness ~n ~losses ~horizon ~seed =
+  (* Per-hop bound 2, flooding depth 2: the protocol-level delta is
+     depth * hop = 4 in both modes so runs are comparable. *)
+  let hop = 2 in
+  let depth = 2 in
+  let delta = depth * hop in
+  let run ~mode ~mode_name ~loss =
+    let cfg =
+      {
+        (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:hop)
+           ~churn_rate:0.01)
+        with
+        Deployment.broadcast_mode = mode;
+      }
+    in
+    let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
+    if loss > 0.0 then begin
+      let rng = Rng.create ~seed:(seed + 13) in
+      Network.set_fault (Sync_d.network d) (fun _ -> Rng.float rng 1.0 < loss)
+    end;
+    Sync_d.start_churn d ~until:(time horizon);
+    Sync_gen.run d
+      { Generator.read_rate = 0.5; write_every = 5 * delta; start = time 1;
+        until = time horizon };
+    Sync_d.run_until d (time (horizon + (4 * delta)));
+    let metrics = Sync_d.metrics d in
+    {
+      bc_mode = mode_name;
+      bc_loss = loss;
+      bc_completed = List.length (completed_ops (Sync_d.history d));
+      bc_violations = List.length (Sync_d.regularity d).Regularity.violations;
+      bc_transmissions = transmissions metrics;
+    }
+  in
+  List.concat_map
+    (fun loss ->
+      [
+        run ~mode:Network.Primitive ~mode_name:"primitive" ~loss;
+        run ~mode:(Network.Flooding { relay_depth = depth }) ~mode_name:"flooding" ~loss;
+      ])
+    losses
+
+(* ------------------------------------------------------------------ *)
+(* E18 *)
+
+type consensus_row = {
+  cn_c : float;
+  cn_protected : bool;
+  cn_present : int;
+  cn_decided : int;
+  cn_attempts : int;
+  cn_first_decision : int option;
+  cn_agreement : bool;
+  cn_validity : bool;
+}
+
+let consensus_under_churn ~n ~k ~cs ~horizon ~seed =
+  let open Dds_alpha in
+  let run ~c ~protected_participants =
+    (* Participants are the first k founders; protection (when on)
+       shields them from churn so a leader eventually persists. *)
+    let participants = ref [] in
+    let protect pid = protected_participants && List.exists (Pid.equal pid) !participants in
+    let arr =
+      Register_array.create ~seed ~n ~k ~delay:(Delay.synchronous ~delta:3) ~churn_rate:c
+        ~protect ()
+    in
+    participants := List.filteri (fun i _ -> i < k) (Register_array.founding arr);
+    let cons = Consensus.create arr ~retry_every:20 () in
+    List.iteri (fun i pid -> Consensus.propose cons pid (100 + i)) !participants;
+    if c > 0.0 then Register_array.start_churn arr ~until:(time horizon);
+    Consensus.start cons ~until:(time horizon);
+    Scheduler.run_until (Register_array.scheduler arr) (time (horizon + 100));
+    {
+      cn_c = c;
+      cn_protected = protected_participants;
+      cn_present = Membership.n_present (Register_array.membership arr);
+      cn_decided = Consensus.decided_count cons;
+      cn_attempts = Consensus.attempts_used cons;
+      cn_first_decision =
+        Option.map Time.to_int (Consensus.first_decision_at cons);
+      cn_agreement = Consensus.agreement_ok cons;
+      cn_validity = Consensus.validity_ok cons;
+    }
+  in
+  List.map (fun c -> run ~c ~protected_participants:true) cs
+  @ [ run ~c:(List.fold_left Float.max 0.0 cs) ~protected_participants:false ]
+
+(* ------------------------------------------------------------------ *)
+(* E19 *)
+
+type geo_row = {
+  geo_speed : float;
+  geo_churn : float;  (** emergent churn rate, measured *)
+  geo_threshold_ratio : float;  (** emergent c / (1/(3 delta)) *)
+  geo_mean_population : float;
+  geo_joins : int;
+  geo_reads : int;
+  geo_violations : int;
+}
+
+let geo_speed ~speeds ~horizon ~seed =
+  List.map
+    (fun speed ->
+      let open Dds_geo in
+      let cfg = Zone_world.default_config ~seed ~speed in
+      let w = Zone_world.create cfg in
+      Zone_world.start w ~until:(time horizon);
+      Zone_world.start_activity w ~read_rate:1.0 ~write_every:15 ~until:(time horizon);
+      Zone_world.run_until w (time (horizon + 50));
+      let r = Zone_world.regularity w in
+      let churn = Zone_world.emergent_churn w in
+      {
+        geo_speed = speed;
+        geo_churn = churn;
+        geo_threshold_ratio = churn *. 3.0 *. float_of_int cfg.Zone_world.delta;
+        geo_mean_population = Stats.mean (Zone_world.population_stats w);
+        geo_joins = r.Regularity.checked_joins;
+        geo_reads = r.Regularity.checked_reads;
+        geo_violations = List.length r.Regularity.violations;
+      })
+    speeds
+
+(* ------------------------------------------------------------------ *)
+(* E20 *)
+
+type quorum_row = {
+  qa_quorum : int;
+  qa_majority : int;
+  qa_completed : int;
+  qa_pending : int;
+  qa_violations : int;
+  qa_inversions : int;
+}
+
+let quorum_ablation ?(loss = 0.0) ~n ~quorums ~c ~horizon ~seed () =
+  List.map
+    (fun quorum ->
+      let cfg =
+        Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:3)
+          ~churn_rate:c
+      in
+      let d =
+        Es_d.create cfg
+          { (Es_register.default_params ~n) with Es_register.quorum_override = Some quorum }
+      in
+      if loss > 0.0 then begin
+        let rng = Rng.create ~seed:(seed + 3) in
+        Network.set_fault (Es_d.network d) (fun _ -> Rng.float rng 1.0 < loss)
+      end;
+      Es_d.start_churn d ~until:(time horizon);
+      Es_gen.run d
+        { Generator.read_rate = 1.0; write_every = 20; start = time 1; until = time horizon };
+      Es_d.run_until d (time (horizon + 60));
+      let h = Es_d.history d in
+      {
+        qa_quorum = quorum;
+        qa_majority = (n / 2) + 1;
+        qa_completed = List.length (completed_ops h);
+        qa_pending = List.length (History.pending h);
+        qa_violations = List.length (Es_d.regularity d).Regularity.violations;
+        qa_inversions = List.length (Atomicity.inversions h);
+      })
+    quorums
+
+(* ------------------------------------------------------------------ *)
+(* E21 *)
+
+type repair_row = {
+  rp_variant : string;
+  rp_scenario_inversions : int;  (** the constructed execution *)
+  rp_run_inversions : int;  (** a randomized churn run *)
+  rp_read_mean : float;  (** read latency in that run *)
+  rp_violations : int;
+}
+
+let read_repair_ablation ~n ~horizon ~seed =
+  let run ~read_repair =
+    let scenario = Scenario.es_inversion ~read_repair () in
+    let cfg =
+      Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:3)
+        ~churn_rate:0.01
+    in
+    let d =
+      Es_d.create cfg { (Es_register.default_params ~n) with Es_register.read_repair }
+    in
+    Es_d.start_churn d ~until:(time horizon);
+    Es_gen.run d
+      { Generator.read_rate = 0.5; write_every = 25; start = time 1; until = time horizon };
+    Es_d.run_until d (time (horizon + 60));
+    let h = Es_d.history d in
+    {
+      rp_variant = (if read_repair then "read-repair (atomic)" else "plain (regular)");
+      rp_scenario_inversions = List.length scenario.Scenario.inversions;
+      rp_run_inversions = List.length (Atomicity.inversions h);
+      rp_read_mean = Stats.mean (latency_stats (List.filter is_read (completed_ops h)));
+      rp_violations = List.length (Es_d.regularity d).Regularity.violations;
+    }
+  in
+  [ run ~read_repair:false; run ~read_repair:true ]
+
+(* ------------------------------------------------------------------ *)
+(* E22 *)
+
+type calibration_row = {
+  cb_believed : int;  (** the delta the protocol waits on *)
+  cb_actual : int;  (** the network's real bound *)
+  cb_violations : int;
+  cb_join_mean : float;
+  cb_joins : int;
+}
+
+let delta_calibration ~n ~actual ~believed ~horizon ~seed =
+  List.map
+    (fun believed_delta ->
+      let cfg =
+        Deployment.default_config ~seed ~n
+          ~delay:(Delay.synchronous ~delta:actual)
+          ~churn_rate:0.02
+      in
+      let d = Sync_d.create cfg (Sync_register.default_params ~delta:believed_delta) in
+      Sync_d.start_churn d ~until:(time horizon);
+      Sync_gen.run d
+        { Generator.read_rate = 1.0; write_every = 6 * actual; start = time 1;
+          until = time horizon };
+      Sync_d.run_until d (time (horizon + (6 * actual)));
+      let joins = List.filter is_join (completed_ops (Sync_d.history d)) in
+      {
+        cb_believed = believed_delta;
+        cb_actual = actual;
+        cb_violations = List.length (Sync_d.regularity d).Regularity.violations;
+        cb_join_mean = Stats.mean (latency_stats joins);
+        cb_joins = List.length joins;
+      })
+    believed
+
+(* ------------------------------------------------------------------ *)
+(* E23 *)
+
+type session_row = {
+  ss_model : string;
+  ss_mean_session : float;
+  ss_measured_c : float;
+  ss_checked : int;  (** reads + joins checked *)
+  ss_violations : int;
+  ss_stuck_joins : int;
+  ss_min_window : int;  (** min |A(tau, tau+3delta)| *)
+}
+
+let session_models ~n ~delta ~mean ~horizon ~seed =
+  let threshold_window d =
+    let analysis = Analysis.of_records (Membership.records (Sync_d.membership d)) in
+    snd
+      (Analysis.min_active_window analysis ~window:(3 * delta) ~from_:(time (4 * delta))
+         ~until:(time (horizon - (3 * delta) - 1)))
+  in
+  let params =
+    {
+      (Sync_register.default_params ~delta) with
+      Sync_register.on_empty_inquiry = Sync_register.Adopt_bottom;
+    }
+  in
+  let workload d =
+    Sync_gen.run d
+      { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
+        until = time horizon }
+  in
+  let finish ~model ~measured d =
+    let report = Sync_d.regularity d in
+    {
+      ss_model = model;
+      ss_mean_session = mean;
+      ss_measured_c = measured;
+      ss_checked = report.Regularity.checked_reads + report.Regularity.checked_joins;
+      ss_violations = List.length report.Regularity.violations;
+      ss_stuck_joins =
+        List.length (List.filter is_join (History.pending (Sync_d.history d)));
+      ss_min_window = threshold_window d;
+    }
+  in
+  let constant_row =
+    let c = 1.0 /. mean in
+    let cfg =
+      Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:c
+    in
+    let d = Sync_d.create cfg params in
+    Sync_d.start_churn d ~until:(time horizon);
+    workload d;
+    Sync_d.run_until d (time (horizon + (4 * delta)));
+    finish ~model:"constant rate (paper)" ~measured:c d
+  in
+  let session_row ~model ~distribution =
+    let cfg =
+      Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:0.0
+    in
+    let d = Sync_d.create cfg params in
+    let engine =
+      Session_churn.create ~sched:(Sync_d.scheduler d)
+        ~rng:(Rng.create ~seed:(seed + 101))
+        ~membership:(Sync_d.membership d) ~distribution
+        ~spawn:(fun () -> Sync_d.spawn d)
+        ~retire:(fun pid -> Sync_d.retire d pid)
+        ()
+    in
+    Session_churn.start engine ~until:(time horizon);
+    workload d;
+    Sync_d.run_until d (time (horizon + (4 * delta)));
+    finish ~model ~measured:(Session_churn.measured_rate engine ~n) d
+  in
+  [
+    constant_row;
+    session_row ~model:"fixed sessions (synchronized)"
+      ~distribution:(Session_churn.Fixed (int_of_float mean));
+    session_row ~model:"geometric sessions (memoryless)"
+      ~distribution:(Session_churn.Geometric mean);
+    (let alpha = 1.5 in
+     let xmin = mean *. (alpha -. 1.0) /. alpha in
+     session_row ~model:"pareto sessions (heavy tail)"
+       ~distribution:(Session_churn.Pareto { alpha; xmin }));
+  ]

@@ -1,0 +1,47 @@
+(** Renders sweep results as {!Report} tables.
+
+    One function per experiment; the bench harness and the CLI print
+    these, and EXPERIMENTS.md quotes their output. *)
+
+val fig3 : Scenario.fig3_outcome -> Scenario.fig3_outcome -> Report.t
+(** [fig3 without_wait with_wait]. *)
+
+val inversion : Scenario.inversion_outcome -> Report.t
+
+val lemma2 : n:int -> delta:int -> Sweep.lemma2_row list -> Report.t
+
+val sync_safety : n:int -> delta:int -> variant:string -> Sweep.safety_row list -> Report.t
+
+val latency : title:string -> Sweep.latency_row list -> Report.t
+
+val async_impossibility : Sweep.async_row list -> Report.t
+
+val es_boundary : n:int -> Sweep.boundary_row list -> Report.t
+
+val abd_vs_dynamic : n:int -> c:float -> horizon:int -> Sweep.versus_row list -> Report.t
+
+val msg_complexity : Sweep.msg_row list -> Report.t
+
+val timed_quorum : n:int -> Sweep.tq_row list -> Report.t
+
+val churn_threshold : n:int -> Sweep.threshold_row list -> Report.t
+
+val bursty_churn : n:int -> delta:int -> Sweep.burst_row list -> Report.t
+
+val message_loss : n:int -> Sweep.loss_row list -> Report.t
+
+val join_wait_optimization : n:int -> delta:int -> Sweep.join_opt_row list -> Report.t
+
+val broadcast_robustness : n:int -> Sweep.broadcast_row list -> Report.t
+
+val consensus : n:int -> k:int -> Sweep.consensus_row list -> Report.t
+
+val geo_speed : delta:int -> Sweep.geo_row list -> Report.t
+
+val quorum_ablation : n:int -> c:float -> loss:float -> Sweep.quorum_row list -> Report.t
+
+val read_repair : n:int -> Sweep.repair_row list -> Report.t
+
+val delta_calibration : n:int -> actual:int -> Sweep.calibration_row list -> Report.t
+
+val session_models : n:int -> delta:int -> Sweep.session_row list -> Report.t

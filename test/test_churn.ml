@@ -1,0 +1,465 @@
+(* Tests for membership lifecycle, the constant-churn engine, and the
+   post-hoc A(tau) analysis backing the Lemma 2 experiments. *)
+
+open Dds_sim
+open Dds_net
+open Dds_churn
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let time = Time.of_int
+let pid = Pid.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Membership *)
+
+let test_membership_lifecycle () =
+  let m = Membership.create () in
+  Membership.add m (pid 0) ~now:(time 1);
+  check Alcotest.(option bool) "joining" (Some true)
+    (match Membership.status m (pid 0) with
+    | Some Membership.Joining -> Some true
+    | _ -> Some false);
+  check_int "present" 1 (Membership.n_present m);
+  check_int "active" 0 (Membership.n_active m);
+  Membership.set_active m (pid 0) ~now:(time 5);
+  check_bool "now active" true (Membership.is_active m (pid 0));
+  check_int "joining count" 0 (Membership.n_joining m);
+  Membership.remove m (pid 0) ~now:(time 9);
+  check_bool "gone" false (Membership.is_present m (pid 0));
+  match Membership.find_record m (pid 0) with
+  | Some r ->
+    check_int "join time" 1 (Time.to_int r.Membership.join_time);
+    check Alcotest.(option int) "active time" (Some 5)
+      (Option.map Time.to_int r.Membership.active_time);
+    check Alcotest.(option int) "leave time" (Some 9)
+      (Option.map Time.to_int r.Membership.leave_time)
+  | None -> Alcotest.fail "record missing"
+
+let test_membership_rejects_reentry () =
+  let m = Membership.create () in
+  Membership.add m (pid 3) ~now:(time 0);
+  Membership.remove m (pid 3) ~now:(time 1);
+  check_bool "reentry rejected" true
+    (try
+       Membership.add m (pid 3) ~now:(time 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_membership_invalid_transitions () =
+  let m = Membership.create () in
+  check_bool "activate unknown" true
+    (try
+       Membership.set_active m (pid 7) ~now:(time 0);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "remove unknown" true
+    (try
+       Membership.remove m (pid 7) ~now:(time 0);
+       false
+     with Invalid_argument _ -> true);
+  Membership.add m (pid 7) ~now:(time 0);
+  Membership.set_active m (pid 7) ~now:(time 0);
+  check_bool "activate twice" true
+    (try
+       Membership.set_active m (pid 7) ~now:(time 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_membership_listings () =
+  let m = Membership.create () in
+  List.iter (fun i -> Membership.add m (pid i) ~now:(time 0)) [ 2; 0; 1 ];
+  Membership.set_active m (pid 1) ~now:(time 1);
+  Alcotest.(check (list int)) "present sorted" [ 0; 1; 2 ]
+    (List.map Pid.to_int (Membership.present m));
+  Alcotest.(check (list int)) "active" [ 1 ] (List.map Pid.to_int (Membership.active m));
+  Alcotest.(check (list int)) "joining" [ 0; 2 ] (List.map Pid.to_int (Membership.joining m))
+
+(* ------------------------------------------------------------------ *)
+(* Churn engine *)
+
+(* A miniature deployment: processes are just membership entries;
+   spawn adds a joining process that becomes active 2 ticks later. *)
+type mini = {
+  sched : Scheduler.t;
+  membership : Membership.t;
+  gen : Pid.gen;
+  mutable spawned : int;
+  mutable retired : Pid.t list;
+}
+
+let mini_world ?(seed = 77) ?(n = 20) ?(rate = 0.1) ?(policy = Churn.Uniform) ?protect
+    ?(activation_delay = 2) () =
+  let sched = Scheduler.create () in
+  let membership = Membership.create () in
+  let gen = Pid.generator () in
+  let w = { sched; membership; gen; spawned = 0; retired = [] } in
+  for _ = 1 to n do
+    let p = Pid.fresh gen in
+    Membership.add membership p ~now:Time.zero;
+    Membership.set_active membership p ~now:Time.zero
+  done;
+  let spawn () =
+    let p = Pid.fresh w.gen in
+    w.spawned <- w.spawned + 1;
+    Membership.add w.membership p ~now:(Scheduler.now sched);
+    let activate () =
+      if Membership.is_present w.membership p then
+        Membership.set_active w.membership p ~now:(Scheduler.now sched)
+    in
+    if activation_delay = 0 then activate ()
+    else ignore (Scheduler.schedule_after sched activation_delay activate)
+  in
+  let retire p =
+    w.retired <- p :: w.retired;
+    Membership.remove w.membership p ~now:(Scheduler.now sched)
+  in
+  let churn =
+    Churn.create ~sched ~rng:(Rng.create ~seed) ~membership ~n ~rate ~policy ?protect ~spawn
+      ~retire ()
+  in
+  (w, churn)
+
+let test_churn_constant_size () =
+  let w, churn = mini_world ~n:20 ~rate:0.1 () in
+  Churn.start churn ~until:(time 100);
+  Scheduler.run w.sched ();
+  check_int "size constant" 20 (Membership.n_present w.membership);
+  (* 20 * 0.1 = 2 per tick, 100 ticks -> 200 refreshes. *)
+  check_int "refresh count" 200 (Churn.refreshed churn);
+  check_int "spawned = retired" (List.length w.retired) w.spawned
+
+let test_churn_fractional_accumulation () =
+  (* n*rate = 0.5: one refresh every other tick, 50 over 100 ticks. *)
+  let w, churn = mini_world ~n:10 ~rate:0.05 () in
+  Churn.start churn ~until:(time 100);
+  Scheduler.run w.sched ();
+  check_int "fractional accumulates" 50 (Churn.refreshed churn);
+  check_int "size constant" 10 (Membership.n_present w.membership)
+
+let test_churn_zero_rate () =
+  let w, churn = mini_world ~n:10 ~rate:0.0 () in
+  Churn.start churn ~until:(time 50);
+  Scheduler.run w.sched ();
+  check_int "no refresh" 0 (Churn.refreshed churn);
+  check_int "nobody left" 0 (List.length w.retired)
+
+let test_churn_protection () =
+  let protected_pid = pid 0 in
+  let w, churn =
+    mini_world ~n:5 ~rate:0.2 ~protect:(fun p -> Pid.equal p protected_pid) ()
+  in
+  Churn.start churn ~until:(time 200);
+  Scheduler.run w.sched ();
+  check_bool "protected never retired" false
+    (List.exists (Pid.equal protected_pid) w.retired);
+  check_bool "protected still present" true (Membership.is_present w.membership protected_pid)
+
+let test_churn_stop () =
+  let w, churn = mini_world ~n:20 ~rate:0.1 () in
+  Churn.start churn ~until:(time 1000);
+  Scheduler.run_until w.sched (time 10);
+  let after_ten = Churn.refreshed churn in
+  Churn.stop churn;
+  Scheduler.run w.sched ();
+  check_int "no refresh after stop" after_ten (Churn.refreshed churn)
+
+let test_churn_oldest_first () =
+  let w, churn = mini_world ~n:10 ~rate:0.1 ~policy:Churn.Oldest_first () in
+  Churn.start churn ~until:(time 10);
+  Scheduler.run w.sched ();
+  (* 1 refresh per tick for 10 ticks: exactly the 10 founding members
+     (pids 0..9) go, oldest first. *)
+  Alcotest.(check (list int)) "founders retired in order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev_map Pid.to_int w.retired)
+
+let test_churn_active_first () =
+  let w, churn = mini_world ~n:10 ~rate:0.3 ~policy:Churn.Active_first () in
+  Churn.start churn ~until:(time 30);
+  Scheduler.run w.sched ();
+  (* With a 2-tick activation delay and 3 victims/tick, joining
+     processes exist at every refresh; Active_first must still prefer
+     active victims whenever enough are available. Just sanity-check
+     the run kept the size constant and made progress. *)
+  check_int "size constant" 10 (Membership.n_present w.membership);
+  check_bool "progress" true (Churn.refreshed churn >= 80)
+
+let test_policy_parsing () =
+  check_bool "uniform" true (Churn.policy_of_string "uniform" = Ok Churn.Uniform);
+  check_bool "oldest" true (Churn.policy_of_string "oldest" = Ok Churn.Oldest_first);
+  check_bool "youngest" true (Churn.policy_of_string "youngest" = Ok Churn.Youngest_first);
+  check_bool "active" true (Churn.policy_of_string "active" = Ok Churn.Active_first);
+  check_bool "junk" true
+    (match Churn.policy_of_string "junk" with Error _ -> true | Ok _ -> false)
+
+let test_rate_profiles () =
+  let bursty = Churn.Bursty { base = 0.0; peak = 0.5; period = 10; burst = 3 } in
+  check_bool "burst ticks" true (Churn.rate_at bursty (time 0) = 0.5);
+  check_bool "burst tick 2" true (Churn.rate_at bursty (time 2) = 0.5);
+  check_bool "calm tick" true (Churn.rate_at bursty (time 3) = 0.0);
+  check_bool "periodic" true (Churn.rate_at bursty (time 12) = 0.5);
+  check_bool "constant" true (Churn.rate_at (Churn.Constant 0.25) (time 99) = 0.25);
+  check_bool "custom" true
+    (Churn.rate_at (Churn.Profile (fun t -> if Time.to_int t > 5 then 0.1 else 0.0)) (time 9)
+    = 0.1)
+
+let test_bursty_engine_refresh_count () =
+  (* n=10, base 0 / peak 0.3 for 5 of every 20 ticks: average 0.075,
+     i.e. 0.75 refreshes per tick -> 75 over 100 ticks (bursts at ticks
+     t mod 20 < 5; ticks 1..100 contain 25 burst ticks * 3 victims). *)
+  let profile = Churn.Bursty { base = 0.0; peak = 0.3; period = 20; burst = 5 } in
+  let sched = Scheduler.create () in
+  let membership = Membership.create () in
+  let gen = Pid.generator () in
+  for _ = 1 to 10 do
+    let p = Pid.fresh gen in
+    Membership.add membership p ~now:Time.zero;
+    Membership.set_active membership p ~now:Time.zero
+  done;
+  let spawn () =
+    let p = Pid.fresh gen in
+    Membership.add membership p ~now:(Scheduler.now sched);
+    Membership.set_active membership p ~now:(Scheduler.now sched)
+  in
+  let retire p = Membership.remove membership p ~now:(Scheduler.now sched) in
+  let churn =
+    Churn.create ~sched ~rng:(Rng.create ~seed:5) ~membership ~n:10 ~rate:0.0 ~profile
+      ~spawn ~retire ()
+  in
+  Churn.start churn ~until:(time 100);
+  Scheduler.run sched ();
+  (* Ticks 1..100 with t mod 20 < 5: {1..4}, {20..24}, {40..44},
+     {60..64}, {80..84}, {100} = 25 burst ticks at 3 victims each. *)
+  check_int "burst refreshes" 75 (Churn.refreshed churn);
+  check_int "size constant" 10 (Membership.n_present membership)
+
+let test_churn_invalid_args () =
+  let sched = Scheduler.create () in
+  let membership = Membership.create () in
+  let mk rate n =
+    try
+      ignore
+        (Churn.create ~sched ~rng:(Rng.create ~seed:0) ~membership ~n ~rate
+           ~spawn:(fun () -> ())
+           ~retire:(fun _ -> ())
+           ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "rate 1.0 rejected" true (mk 1.0 10);
+  check_bool "negative rate rejected" true (mk (-0.1) 10);
+  check_bool "n 0 rejected" true (mk 0.1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Session churn *)
+
+let test_session_sampling () =
+  let rng = Rng.create ~seed:5 in
+  check_int "fixed" 7 (Session_churn.sample (Session_churn.Fixed 7) rng);
+  check_bool "geometric positive" true
+    (Session_churn.sample (Session_churn.Geometric 10.0) rng >= 1);
+  check_bool "pareto >= xmin-ish" true
+    (Session_churn.sample (Session_churn.Pareto { alpha = 1.5; xmin = 5.0 }) rng >= 5);
+  check_bool "fixed mean" true (Session_churn.mean_session (Session_churn.Fixed 7) = 7.0);
+  check_bool "pareto mean" true
+    (Float.abs (Session_churn.mean_session (Session_churn.Pareto { alpha = 1.5; xmin = 5.0 }) -. 15.0)
+    < 1e-9);
+  check_bool "pareto infinite mean" true
+    (Session_churn.mean_session (Session_churn.Pareto { alpha = 0.9; xmin = 5.0 }) = infinity);
+  check_bool "bad params" true
+    (try
+       ignore
+         (Session_churn.create ~sched:(Scheduler.create ()) ~rng
+            ~membership:(Membership.create ())
+            ~distribution:(Session_churn.Fixed 0)
+            ~spawn:(fun () -> Pid.of_int 0)
+            ~retire:(fun _ -> ())
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_session_geometric_mean () =
+  let rng = Rng.create ~seed:11 in
+  let total = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    total := !total + Session_churn.sample (Session_churn.Geometric 12.0) rng
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  check_bool "empirical mean near 12" true (Float.abs (mean -. 12.0) < 1.0)
+
+let test_session_engine_rotation () =
+  (* Fixed sessions: the initial cohort expires together. *)
+  let sched = Scheduler.create () in
+  let membership = Membership.create () in
+  let gen = Pid.generator () in
+  let spawn () =
+    let p = Pid.fresh gen in
+    Membership.add membership p ~now:(Scheduler.now sched);
+    Membership.set_active membership p ~now:(Scheduler.now sched);
+    p
+  in
+  let retire p = Membership.remove membership p ~now:(Scheduler.now sched) in
+  for _ = 1 to 10 do
+    ignore (spawn ())
+  done;
+  let engine =
+    Session_churn.create ~sched ~rng:(Rng.create ~seed:3) ~membership
+      ~distribution:(Session_churn.Fixed 20) ~spawn ~retire ()
+  in
+  Session_churn.start engine ~until:(time 100);
+  Scheduler.run_until sched (time 19);
+  check_int "nobody expired yet" 0 (Session_churn.replaced engine);
+  Scheduler.run_until sched (time 20);
+  check_int "whole cohort rotated at t=20" 10 (Session_churn.replaced engine);
+  check_int "population constant" 10 (Membership.n_present membership);
+  Scheduler.run_until sched (time 100);
+  (* Cohorts keep rotating every 20 ticks: t=20,40,60,80,100. *)
+  check_int "five rotations" 50 (Session_churn.replaced engine);
+  check_bool "measured rate near 1/20" true
+    (Float.abs (Session_churn.measured_rate engine ~n:10 -. 0.05) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let record ~p ~join ?active ?leave () =
+  {
+    Membership.pid = pid p;
+    join_time = time join;
+    active_time = Option.map time active;
+    leave_time = Option.map time leave;
+  }
+
+let test_analysis_counts () =
+  let a =
+    Analysis.of_records
+      [
+        record ~p:0 ~join:0 ~active:0 ();
+        record ~p:1 ~join:0 ~active:0 ~leave:10 ();
+        record ~p:2 ~join:5 ~active:8 ();
+        record ~p:3 ~join:5 () (* never activated *);
+      ]
+  in
+  check_int "A(0)" 2 (Analysis.active_at a (time 0));
+  check_int "A(8)" 3 (Analysis.active_at a (time 8));
+  check_int "A(10): leaver gone at its leave tick" 2 (Analysis.active_at a (time 10));
+  check_int "present(6)" 4 (Analysis.present_at a (time 6));
+  check_int "A(0,9)" 2 (Analysis.active_through a ~from_:(time 0) ~until:(time 9));
+  check_int "A(0,10): leave at 10 excludes p1" 1
+    (Analysis.active_through a ~from_:(time 0) ~until:(time 10))
+
+let test_analysis_min_window () =
+  let a =
+    Analysis.of_records
+      [
+        record ~p:0 ~join:0 ~active:0 ();
+        record ~p:1 ~join:0 ~active:0 ~leave:5 ();
+        record ~p:2 ~join:4 ~active:6 ();
+      ]
+  in
+  (* Window 3: at tau=2..4, p1 is within 3 ticks of leaving and p2 not
+     yet active -> only p0 covers. *)
+  let tau, min = Analysis.min_active_window a ~window:3 ~from_:(time 0) ~until:(time 10) in
+  check_int "min count" 1 min;
+  check_bool "witness in the gap" true (Time.to_int tau >= 2 && Time.to_int tau <= 4);
+  (* Consistency with the direct computation at the witness point. *)
+  check_int "cross-check" min
+    (Analysis.active_through a ~from_:tau ~until:(Time.add tau 3))
+
+let test_analysis_series () =
+  let a = Analysis.of_records [ record ~p:0 ~join:0 ~active:2 ~leave:4 () ] in
+  Alcotest.(check (list (pair int int)))
+    "series"
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 0) ]
+    (List.map
+       (fun (t, c) -> (Time.to_int t, c))
+       (Analysis.series_active a ~from_:(time 0) ~until:(time 4)))
+
+(* Property: the churn engine keeps |present| = n at all times, and the
+   analysis agrees with live counts. *)
+let prop_constant_size =
+  QCheck2.Test.make ~name:"churn keeps |present| = n at every tick" ~count:50
+    QCheck2.Gen.(triple (int_range 5 40) (int_range 0 30) (int_range 0 10_000))
+    (fun (n, rate_pct, seed) ->
+      let rate = float_of_int rate_pct /. 100.0 in
+      let w, churn = mini_world ~seed ~n ~rate () in
+      Churn.start churn ~until:(time 60);
+      let ok = ref true in
+      let rec probe t =
+        if t <= 60 then begin
+          ignore
+            (Scheduler.schedule_at w.sched (time t) (fun () ->
+                 if Membership.n_present w.membership <> n then ok := false));
+          probe (t + 1)
+        end
+      in
+      probe 1;
+      Scheduler.run w.sched ();
+      !ok)
+
+(* Property: Lemma 2's bound |A(tau, tau+3delta)| >= n(1-3*delta*c) > 0
+   under the adversarial Active_first policy, in the regime the lemma's
+   proof covers: windows starting from a fully-active configuration
+   (instant activation) and c < 1/(3 delta). We pick c = 1/n with
+   n > 3*delta so that n*c is integral (no fractional-carry slack). *)
+let prop_lemma2_bound =
+  QCheck2.Test.make ~name:"Lemma 2 bound |A(tau,tau+3d)| >= n(1-3dc)" ~count:40
+    QCheck2.Gen.(triple (int_range 1 5) (int_range 2 25) (int_range 0 10_000))
+    (fun (delta, extra, seed) ->
+      let n = (3 * delta) + extra in
+      let c = 1.0 /. float_of_int n in
+      let w, churn =
+        mini_world ~seed ~n ~rate:c ~policy:Churn.Active_first ~activation_delay:0 ()
+      in
+      Churn.start churn ~until:(time 200);
+      Scheduler.run w.sched ();
+      let analysis = Analysis.of_records (Membership.records w.membership) in
+      let _, min_count =
+        Analysis.min_active_window analysis ~window:(3 * delta) ~from_:(time 0)
+          ~until:(time (200 - (3 * delta) - 1))
+      in
+      let bound = float_of_int n *. (1.0 -. (3.0 *. float_of_int delta *. c)) in
+      float_of_int min_count >= bound -. 1e-6 && min_count > 0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dds_churn"
+    [
+      ( "membership",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_membership_lifecycle;
+          Alcotest.test_case "no reentry" `Quick test_membership_rejects_reentry;
+          Alcotest.test_case "invalid transitions" `Quick test_membership_invalid_transitions;
+          Alcotest.test_case "listings" `Quick test_membership_listings;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "constant size" `Quick test_churn_constant_size;
+          Alcotest.test_case "fractional accumulation" `Quick
+            test_churn_fractional_accumulation;
+          Alcotest.test_case "zero rate" `Quick test_churn_zero_rate;
+          Alcotest.test_case "protection" `Quick test_churn_protection;
+          Alcotest.test_case "stop" `Quick test_churn_stop;
+          Alcotest.test_case "oldest first" `Quick test_churn_oldest_first;
+          Alcotest.test_case "active first" `Quick test_churn_active_first;
+          Alcotest.test_case "policy parsing" `Quick test_policy_parsing;
+          Alcotest.test_case "rate profiles" `Quick test_rate_profiles;
+          Alcotest.test_case "bursty refresh count" `Quick test_bursty_engine_refresh_count;
+          Alcotest.test_case "invalid args" `Quick test_churn_invalid_args;
+        ] );
+      ( "session-churn",
+        [
+          Alcotest.test_case "sampling" `Quick test_session_sampling;
+          Alcotest.test_case "geometric mean" `Quick test_session_geometric_mean;
+          Alcotest.test_case "engine rotation" `Quick test_session_engine_rotation;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "counts" `Quick test_analysis_counts;
+          Alcotest.test_case "min window" `Quick test_analysis_min_window;
+          Alcotest.test_case "series" `Quick test_analysis_series;
+        ] );
+      qsuite "churn-props" [ prop_constant_size; prop_lemma2_bound ];
+    ]

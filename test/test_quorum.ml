@@ -1,0 +1,212 @@
+(* Tests for majority arithmetic and timed quorums (the Section 7
+   future-work extension). *)
+
+open Dds_sim
+open Dds_net
+open Dds_churn
+open Dds_quorum
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let time = Time.of_int
+let pid = Pid.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Majority *)
+
+let test_threshold () =
+  check_int "n=1" 1 (Majority.threshold ~n:1);
+  check_int "n=2" 2 (Majority.threshold ~n:2);
+  check_int "n=9" 5 (Majority.threshold ~n:9);
+  check_int "n=10" 6 (Majority.threshold ~n:10);
+  check_bool "n=0 rejected" true
+    (try
+       ignore (Majority.threshold ~n:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_is_quorum () =
+  check_bool "6 of 10" true (Majority.is_quorum ~n:10 ~size:6);
+  check_bool "5 of 10" false (Majority.is_quorum ~n:10 ~size:5);
+  check_int "absent tolerance n=10" 4 (Majority.max_simultaneously_absent ~n:10);
+  check_int "absent tolerance n=9" 4 (Majority.max_simultaneously_absent ~n:9)
+
+let test_guaranteed_intersection () =
+  check_int "n=10: two 6-sets share >= 2" 2 (Majority.guaranteed_intersection ~n:10);
+  check_int "n=9: two 5-sets share >= 1" 1 (Majority.guaranteed_intersection ~n:9);
+  (* Always at least one: the property the ES proofs lean on. *)
+  for n = 1 to 50 do
+    check_bool "positive" true (Majority.guaranteed_intersection ~n >= 1)
+  done
+
+let test_set_intersection () =
+  let s l = Pid.Set.of_list (List.map pid l) in
+  check_bool "overlap" true (Majority.sets_intersect (s [ 1; 2; 3 ]) (s [ 3; 4 ]));
+  check_bool "disjoint" false (Majority.sets_intersect (s [ 1; 2 ]) (s [ 3; 4 ]));
+  check_bool "pairwise ok" true
+    (Majority.all_pairwise_intersect [ s [ 1; 2 ]; s [ 2; 3 ]; s [ 1; 3 ] ]);
+  check_bool "pairwise fails" false
+    (Majority.all_pairwise_intersect [ s [ 1; 2 ]; s [ 2; 3 ]; s [ 4 ] ])
+
+(* Property: any two majorities of the same ground set intersect. *)
+let prop_majorities_intersect =
+  QCheck2.Test.make ~name:"two random majorities always intersect" ~count:200
+    QCheck2.Gen.(pair (int_range 2 30) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let sample () =
+        let arr = Array.init n pid in
+        Rng.shuffle_in_place rng arr;
+        let q = Majority.threshold ~n in
+        Pid.Set.of_list (Array.to_list (Array.sub arr 0 q))
+      in
+      Majority.sets_intersect (sample ()) (sample ()))
+
+(* ------------------------------------------------------------------ *)
+(* Timed quorums *)
+
+let membership_with ~active =
+  let m = Membership.create () in
+  List.iter
+    (fun i ->
+      Membership.add m (pid i) ~now:Time.zero;
+      Membership.set_active m (pid i) ~now:Time.zero)
+    active;
+  m
+
+let test_acquire_samples_actives () =
+  let m = membership_with ~active:[ 0; 1; 2; 3; 4 ] in
+  let rng = Rng.create ~seed:5 in
+  match Timed_quorum.acquire ~membership:m ~rng ~now:(time 3) ~size:3 ~lifetime:10 with
+  | Some q ->
+    check_int "size" 3 (Pid.Set.cardinal q.Timed_quorum.members);
+    check_int "acquired" 3 (Time.to_int q.Timed_quorum.acquired);
+    Pid.Set.iter
+      (fun p -> check_bool "member is active" true (Membership.is_active m p))
+      q.Timed_quorum.members
+  | None -> Alcotest.fail "expected a quorum"
+
+let test_acquire_insufficient () =
+  let m = membership_with ~active:[ 0; 1 ] in
+  let rng = Rng.create ~seed:5 in
+  check_bool "not enough actives" true
+    (Timed_quorum.acquire ~membership:m ~rng ~now:Time.zero ~size:3 ~lifetime:5 = None)
+
+let test_expiry_and_survivors () =
+  let m = membership_with ~active:[ 0; 1; 2; 3 ] in
+  let rng = Rng.create ~seed:1 in
+  let q =
+    Option.get (Timed_quorum.acquire ~membership:m ~rng ~now:(time 0) ~size:3 ~lifetime:5)
+  in
+  check_bool "fresh" false (Timed_quorum.expired q ~now:(time 5));
+  check_bool "expired" true (Timed_quorum.expired q ~now:(time 6));
+  (* Remove one member: survivors drop accordingly. *)
+  let victim = Pid.Set.min_elt q.Timed_quorum.members in
+  Membership.remove m victim ~now:(time 2);
+  check_int "survivors" 2 (Pid.Set.cardinal (Timed_quorum.survivors q m));
+  check_bool "holds 2-threshold" true (Timed_quorum.holds q m ~threshold:2);
+  check_bool "fails 3-threshold" false (Timed_quorum.holds q m ~threshold:3)
+
+let test_intersecting_survivors () =
+  let m = membership_with ~active:[ 0; 1; 2 ] in
+  let rng = Rng.create ~seed:9 in
+  (* Size 2 of 3: any two quorums share someone. *)
+  let qa = Option.get (Timed_quorum.acquire ~membership:m ~rng ~now:Time.zero ~size:2 ~lifetime:5) in
+  let qb = Option.get (Timed_quorum.acquire ~membership:m ~rng ~now:Time.zero ~size:2 ~lifetime:5) in
+  check_bool "intersect while everyone present" true
+    (not (Pid.Set.is_empty (Timed_quorum.intersecting_survivors qa qb m)))
+
+let test_decay_law () =
+  check (Alcotest.float 1e-9) "no churn" 10.0
+    (Timed_quorum.expected_survivors ~size:10 ~c:0.0 ~elapsed:100);
+  check (Alcotest.float 1e-9) "halving-ish" (10.0 *. (0.9 ** 5.0))
+    (Timed_quorum.expected_survivors ~size:10 ~c:0.1 ~elapsed:5);
+  (* recommended_size grows with churn and is capped at n. *)
+  let r0 = Timed_quorum.recommended_size ~n:20 ~c:0.0 ~lifetime:10 in
+  let r1 = Timed_quorum.recommended_size ~n:20 ~c:0.02 ~lifetime:10 in
+  let r2 = Timed_quorum.recommended_size ~n:20 ~c:0.2 ~lifetime:10 in
+  check_int "no churn -> plain majority" 11 r0;
+  check_bool "grows" true (r1 >= r0);
+  check_int "capped at n" 20 r2
+
+let test_acquire_invalid () =
+  let m = membership_with ~active:[ 0; 1; 2 ] in
+  let rng = Rng.create ~seed:1 in
+  check_bool "size 0" true
+    (try
+       ignore (Timed_quorum.acquire ~membership:m ~rng ~now:Time.zero ~size:0 ~lifetime:1);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "negative lifetime" true
+    (try
+       ignore
+         (Timed_quorum.acquire ~membership:m ~rng ~now:Time.zero ~size:1 ~lifetime:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: measured survivors of a timed quorum under uniform churn
+   stay near the analytic law (within generous tolerance). *)
+let prop_decay_matches_simulation =
+  QCheck2.Test.make ~name:"survivor decay tracks size*(1-c)^t" ~count:20
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 8))
+    (fun (seed, c_pct) ->
+      let c = float_of_int c_pct /. 100.0 in
+      let n = 40 and lifetime = 15 and trials = 60 in
+      let size = (n / 2) + 1 in
+      let total = ref 0 in
+      for trial = 1 to trials do
+        let rng = Rng.create ~seed:(seed + (trial * 31)) in
+        let sched = Scheduler.create () in
+        let m = Membership.create () in
+        let gen = Pid.generator () in
+        for _ = 1 to n do
+          let p = Pid.fresh gen in
+          Membership.add m p ~now:Time.zero;
+          Membership.set_active m p ~now:Time.zero
+        done;
+        let spawn () =
+          let p = Pid.fresh gen in
+          Membership.add m p ~now:(Scheduler.now sched);
+          Membership.set_active m p ~now:(Scheduler.now sched)
+        in
+        let retire p = Membership.remove m p ~now:(Scheduler.now sched) in
+        let churn =
+          Churn.create ~sched ~rng:(Rng.split rng) ~membership:m ~n ~rate:c ~spawn ~retire
+            ()
+        in
+        Churn.start churn ~until:(time lifetime);
+        let q =
+          Option.get
+            (Timed_quorum.acquire ~membership:m ~rng ~now:Time.zero ~size ~lifetime)
+        in
+        Scheduler.run_until sched (time lifetime);
+        total := !total + Pid.Set.cardinal (Timed_quorum.survivors q m)
+      done;
+      let measured = float_of_int !total /. float_of_int trials in
+      let expected = Timed_quorum.expected_survivors ~size ~c ~elapsed:lifetime in
+      Float.abs (measured -. expected) < 0.25 *. float_of_int size +. 1.0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dds_quorum"
+    [
+      ( "majority",
+        [
+          Alcotest.test_case "threshold" `Quick test_threshold;
+          Alcotest.test_case "is_quorum" `Quick test_is_quorum;
+          Alcotest.test_case "guaranteed intersection" `Quick test_guaranteed_intersection;
+          Alcotest.test_case "set intersection" `Quick test_set_intersection;
+        ] );
+      ( "timed-quorum",
+        [
+          Alcotest.test_case "acquire samples actives" `Quick test_acquire_samples_actives;
+          Alcotest.test_case "acquire insufficient" `Quick test_acquire_insufficient;
+          Alcotest.test_case "expiry and survivors" `Quick test_expiry_and_survivors;
+          Alcotest.test_case "intersecting survivors" `Quick test_intersecting_survivors;
+          Alcotest.test_case "decay law" `Quick test_decay_law;
+          Alcotest.test_case "invalid args" `Quick test_acquire_invalid;
+        ] );
+      qsuite "quorum-props" [ prop_majorities_intersect; prop_decay_matches_simulation ];
+    ]
