@@ -22,19 +22,26 @@ let scale x = if quick then Stdlib.max 1 (x / 4) else x
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
 
+(* Prints each table as it is produced and returns them all, so the
+   run can be serialized to BENCH_results.json at the end. *)
 let run_tables () =
+  let acc = ref [] in
+  let show r =
+    acc := r :: !acc;
+    Report.print r
+  in
   Format.printf "@.#### Experiment tables (paper: Baldoni et al., ICDCS 2009) ####@.";
 
   (* E1 — new/old inversion (introduction's figure). *)
-  Report.print (Tables.inversion (Scenario.inversion ()));
+  show (Tables.inversion (Scenario.inversion ()));
 
   (* E2/E3 — Figure 3a/3b. *)
-  Report.print
+  show
     (Tables.fig3 (Scenario.fig3 ~join_wait:false) (Scenario.fig3 ~join_wait:true));
 
   (* E4 — Lemma 2's bound. *)
   let n = 60 and delta = 3 in
-  Report.print
+  show
     (Tables.lemma2 ~n ~delta
        (Sweep.lemma2 ~n ~delta
           ~ratios:[ 0.25; 0.5; 0.75; 0.9; 1.0; 1.2 ]
@@ -46,35 +53,35 @@ let run_tables () =
   let n = 30 and delta = 3 in
   let seeds = List.init (scale 10) (fun i -> 100 + i) in
   let ratios = [ 0.3; 0.6; 0.9; 1.1; 1.4; 2.0; 3.0 ] in
-  Report.print
+  show
     (Tables.sync_safety ~n ~delta ~variant:"paper-literal: adopt bottom"
        (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~n ~delta ~ratios ~seeds
           ~horizon:(scale 600) ()));
-  Report.print
+  show
     (Tables.sync_safety ~n ~delta ~variant:"hardened: retry inquiry"
        (Sweep.sync_safety ~on_empty:Sync_register.Retry ~n ~delta ~ratios ~seeds
           ~horizon:(scale 600) ()));
 
   (* E6 — synchronous operation latencies (Lemma 1's bounds). *)
-  Report.print
+  show
     (Tables.latency
        ~title:
          "E6 — synchronous latencies (Lemma 1: join <= 3*delta=15, write = delta=5, read = 0)"
        (Sweep.sync_latency ~n:30 ~delta:5 ~c:0.01 ~horizon:(scale 1000) ~seed:7));
 
   (* E7 — asynchronous impossibility curve. *)
-  Report.print
+  show
     (Tables.async_impossibility
        (Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; scale 4000 ]));
 
   (* E8 — eventually synchronous latencies, pre- vs post-GST. *)
-  Report.print
+  show
     (Tables.latency ~title:"E8 — ES latencies before vs after GST (gst=500, delta=4, wild=60)"
        (Sweep.es_latency ~n:20 ~gst:500 ~delta:4 ~wild:60 ~horizon:(scale 1200) ~seed:21));
 
   (* E9 — ES liveness at the majority boundary. *)
   let n = 10 in
-  Report.print
+  show
     (Tables.es_boundary ~n
        (Sweep.es_boundary ~n
           ~rates:[ 0.0; 0.005; 0.01; 0.02; 0.04; 0.08; 0.15 ]
@@ -82,17 +89,17 @@ let run_tables () =
 
   (* E10 — ABD vs the dynamic protocols. *)
   let n = 20 and c = 0.02 and horizon = scale 1500 in
-  Report.print
+  show
     (Tables.abd_vs_dynamic ~n ~c ~horizon
        (Sweep.abd_vs_dynamic ~n ~delta:3 ~c ~horizon ~seed:11));
 
   (* E11 — message complexity. *)
-  Report.print
+  show
     (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 10; 20; 40 ] ~delta:3 ~seed:5));
 
   (* E12 — timed quorums. *)
   let n = 30 in
-  Report.print
+  show
     (Tables.timed_quorum ~n
        (Sweep.timed_quorum ~n
           ~cs:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
@@ -100,7 +107,7 @@ let run_tables () =
 
   (* E13 — the greatest tolerable churn (Section 7's open question). *)
   let n = 24 in
-  Report.print
+  show
     (Tables.churn_threshold ~n
        (Sweep.churn_threshold ~n ~deltas:[ 2; 3; 4 ]
           ~seeds:(List.init (scale 4) (fun i -> 500 + i))
@@ -108,7 +115,7 @@ let run_tables () =
 
   (* E14 — bursty churn at a constant average rate. *)
   let n = 30 and delta = 3 in
-  Report.print
+  show
     (Tables.bursty_churn ~n ~delta
        (Sweep.bursty_churn ~n ~delta
           ~seeds:(List.init (scale 8) (fun i -> 900 + i))
@@ -116,7 +123,7 @@ let run_tables () =
 
   (* E15 — message-loss fault injection (outside the paper's model). *)
   let n = 16 in
-  Report.print
+  show
     (Tables.message_loss ~n
        (Sweep.message_loss ~n ~delta:3
           ~losses:[ 0.0; 0.01; 0.05; 0.1; 0.2 ]
@@ -124,14 +131,14 @@ let run_tables () =
 
   (* E16 — footnote 4's join-wait optimization. *)
   let n = 20 and delta = 6 in
-  Report.print
+  show
     (Tables.join_wait_optimization ~n ~delta
        (Sweep.join_wait_optimization ~n ~delta ~p2ps:[ 1; 2; 3 ] ~horizon:(scale 800)
           ~seed:29));
 
   (* E17 — the broadcast assumption, implemented and priced. *)
   let n = 16 in
-  Report.print
+  show
     (Tables.broadcast_robustness ~n
        (Sweep.broadcast_robustness ~n
           ~losses:[ 0.0; 0.05; 0.1; 0.2 ]
@@ -139,14 +146,14 @@ let run_tables () =
 
   (* E18 — consensus from the registers (the introduction's claim). *)
   let n = 10 and kregs = 3 in
-  Report.print
+  show
     (Tables.consensus ~n ~k:kregs
        (Sweep.consensus_under_churn ~n ~k:kregs
           ~cs:[ 0.0; 0.005; 0.01; 0.02 ]
           ~horizon:(scale 1200) ~seed:37));
 
   (* E19 — the wireless zone: the churn bound as a speed limit. *)
-  Report.print
+  show
     (Tables.geo_speed ~delta:3
        (Sweep.geo_speed
           ~speeds:[ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
@@ -154,17 +161,17 @@ let run_tables () =
 
   (* E20 — quorum-size ablation: majority is the safety boundary. *)
   let n = 10 and c = 0.01 and loss = 0.3 in
-  Report.print
+  show
     (Tables.quorum_ablation ~n ~c ~loss
        (Sweep.quorum_ablation ~loss ~n ~quorums:[ 1; 2; 3; 4; 5; 6 ] ~c
           ~horizon:(scale 800) ~seed:1 ()));
 
   (* E21 — regular-to-atomic via read-repair. *)
-  Report.print
+  show
     (Tables.read_repair ~n:10 (Sweep.read_repair_ablation ~n:10 ~horizon:(scale 800) ~seed:47));
 
   (* E22 — delta mis-calibration. *)
-  Report.print
+  show
     (Tables.delta_calibration ~n:20 ~actual:6
        (Sweep.delta_calibration ~n:20 ~actual:6
           ~believed:[ 2; 4; 6; 9; 12 ]
@@ -172,9 +179,11 @@ let run_tables () =
 
   (* E23 — churn process shape at equal average rate. *)
   let n = 30 and delta = 3 in
-  Report.print
+  show
     (Tables.session_models ~n ~delta
-       (Sweep.session_models ~n ~delta ~mean:15.0 ~horizon:(scale 900) ~seed:59))
+       (Sweep.session_models ~n ~delta ~mean:15.0 ~horizon:(scale 900) ~seed:59));
+
+  List.rev !acc
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel benchmarks *)
@@ -348,10 +357,50 @@ let print_bench_results results =
         rows)
     results
 
+(* Flattens the bechamel result table into (name, ns/run) pairs. *)
+let bench_estimates results =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> acc := (name, est) :: !acc
+          | Some _ | None -> ())
+        tbl)
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+let write_results_json ~tables ~estimates =
+  let module J = Dds_sim.Json in
+  let json =
+    J.Obj
+      [
+        ("suite", J.String "dds");
+        ("quick", J.Bool quick);
+        ( "benchmarks",
+          J.Obj
+            (List.map (fun (name, ns) -> (name, J.Obj [ ("ns_per_run", J.Float ns) ])) estimates)
+        );
+        ("tables", J.List (List.map Report.to_json tables));
+      ]
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "@.results written to BENCH_results.json (%d tables, %d benchmarks)@."
+    (List.length tables) (List.length estimates)
+
 let () =
-  if not bench_only then run_tables ();
-  if not tables_only then begin
-    let results = benchmark () in
-    print_bench_results results
-  end;
+  let tables = if not bench_only then run_tables () else [] in
+  let estimates =
+    if not tables_only then begin
+      let results = benchmark () in
+      print_bench_results results;
+      bench_estimates results
+    end
+    else []
+  in
+  write_results_json ~tables ~estimates;
   Format.printf "@.done.@."

@@ -4,6 +4,7 @@
      run       simulate one deployment of a register protocol and report
      scenario  replay one of the paper's constructed executions
      sweep     regenerate one experiment table (E4..E12)
+     inspect   summarize a JSONL trace produced by run --trace-out
 
    Everything is deterministic in --seed. *)
 
@@ -79,6 +80,9 @@ type common = {
   wild : int;
   trace : bool;
   dump_history : string option;
+  trace_out : string option;
+  trace_format : string;  (** "jsonl" or "chrome" *)
+  metrics_out : string option;
 }
 
 let build_delay c =
@@ -98,7 +102,13 @@ let build_config c =
     initial_value = 0;
     broadcast_mode = Network.Primitive;
     trace_enabled = c.trace;
+    events_enabled = c.trace_out <> None;
   }
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 (* One first-class runner per protocol so [run] stays a single code
    path. *)
@@ -118,10 +128,25 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
   if c.trace then Trace.pp Format.std_formatter (D.trace d);
   (match c.dump_history with
   | Some path ->
-    let oc = open_out path in
-    output_string oc (History.to_csv (D.history d));
-    close_out oc;
+    write_file path (History.to_csv (D.history d));
     Format.printf "history written to %s@." path
+  | None -> ());
+  (match c.trace_out with
+  | Some path ->
+    let evs = Event.events (D.events d) in
+    let contents =
+      match c.trace_format with
+      | "chrome" -> Json.to_string (Export.chrome_of_events evs) ^ "\n"
+      | _ -> Export.jsonl_of_events evs
+    in
+    write_file path contents;
+    Format.printf "trace written to %s (%d events, %s)@." path (List.length evs)
+      c.trace_format
+  | None -> ());
+  (match c.metrics_out with
+  | Some path ->
+    write_file path (Json.to_string (Export.metrics_to_json (D.metrics_snapshot d)) ^ "\n");
+    Format.printf "metrics written to %s@." path
   | None -> ());
   Summary.print ~name ~history:(D.history d) ~regularity:(D.regularity d)
     ~staleness:(D.staleness d) ~metrics:(D.metrics d)
@@ -201,29 +226,68 @@ let dump_history_t =
     & opt (some string) None
     & info [ "dump-history" ] ~docv:"FILE" ~doc:"Write the operation history as CSV.")
 
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Record typed telemetry for the whole run and write it here.")
+
+let trace_format_t =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", "jsonl"); ("chrome", "chrome") ]) "jsonl"
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace file format: $(b,jsonl) (one event per line, consumed by $(b,dds inspect)) \
+           or $(b,chrome) (trace_event JSON loadable in chrome://tracing / Perfetto).")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the final metrics snapshot (counters, gauges, histograms) as JSON.")
+
 let common_t =
   let make seed n delta churn policy horizon read_rate write_every gst wild trace
-      dump_history =
+      dump_history trace_out trace_format metrics_out =
     {
       seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
-      dump_history;
+      dump_history; trace_out; trace_format; metrics_out;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
-    $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t)
+    $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
+    $ trace_format_t $ metrics_out_t)
 
-let protocol_t =
+(* The protocol can be given positionally ([dds run es ...]) or via
+   [--proto es]; the flag wins when both are present. *)
+let protocol_pos_t =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"PROTOCOL"
+         ~doc:"Register protocol: sync, es or abd.")
+
+let protocol_flag_t =
   Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"PROTOCOL" ~doc:"Register protocol: sync, es or abd.")
+    value
+    & opt (some string) None
+    & info [ "proto"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Register protocol: sync, es or abd (alternative to the positional form).")
+
+let resolve_protocol pos flag k =
+  match (flag, pos) with
+  | Some p, _ | None, Some p -> k p
+  | None, None -> `Error (true, "missing protocol: give it positionally or with --proto")
 
 let run_cmd =
   let doc = "Simulate one deployment under churn and report safety and latency." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const (fun protocol c -> run_protocol protocol c) $ protocol_t $ common_t))
+    Term.(
+      ret
+        (const (fun pos flag c -> resolve_protocol pos flag (fun p -> run_protocol p c))
+        $ protocol_pos_t $ protocol_flag_t $ common_t))
 
 (* analyze *)
 
@@ -272,7 +336,10 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(ret (const (fun p o c -> run_analyze p o c) $ protocol_t $ out_t $ common_t))
+    Term.(
+      ret
+        (const (fun pos flag o c -> resolve_protocol pos flag (fun p -> run_analyze p o c))
+        $ protocol_pos_t $ protocol_flag_t $ out_t $ common_t))
 
 (* scenario *)
 
@@ -429,6 +496,148 @@ let run_sweep name c =
           "unknown sweep %S (lemma2|safety|boundary|versus|msgs|quorum|threshold|bursty|loss|joinopt|broadcast|consensus|geo|repair|calibration|sessions)"
           other )
 
+(* inspect *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Per-phase latency table for one operation kind: each phase segment
+   (see Export.phase_durations) gets its own row, plus a total row. *)
+let inspect_op_table spans op =
+  let of_kind =
+    List.filter
+      (fun (s : Export.span) -> s.Export.op = op && s.Export.outcome = Event.Completed)
+      spans
+  in
+  if of_kind = [] then None
+  else begin
+    let tbl = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (phase, ticks) ->
+            let st =
+              match Hashtbl.find_opt tbl phase with
+              | Some st -> st
+              | None ->
+                let st = Stats.create () in
+                Hashtbl.add tbl phase st;
+                order := phase :: !order;
+                st
+            in
+            Stats.add_int st ticks)
+          (Export.phase_durations s))
+      of_kind;
+    let total = Stats.create () in
+    List.iter
+      (fun (s : Export.span) -> Stats.add_int total (Time.diff s.Export.ended s.Export.started))
+      of_kind;
+    let row label st =
+      [
+        label;
+        Report.cell_int (Stats.count st);
+        Report.cell_float (Stats.median st);
+        Report.cell_float (Stats.percentile st 99.0);
+        Report.cell_float (Stats.max_value st);
+      ]
+    in
+    let rows = List.rev_map (fun phase -> row phase (Hashtbl.find tbl phase)) !order in
+    Some
+      (Report.make
+         ~title:(Printf.sprintf "%s latency by phase (ticks)" (Event.op_kind_to_string op))
+         ~headers:[ "phase"; "n"; "p50"; "p99"; "max" ]
+         (rows @ [ row "total" total ]))
+  end
+
+let run_inspect path =
+  match read_file path with
+  | exception Sys_error e -> `Error (false, e)
+  | text ->
+  (* Format auto-detection: a chrome trace is one JSON object with a
+     traceEvents array; anything else is treated as JSONL. *)
+  let parsed =
+    match Json.parse text with
+    | Ok j when Json.member "traceEvents" j <> None -> Export.events_of_chrome j
+    | Ok _ | Error _ -> Export.events_of_jsonl text
+  in
+  match parsed with
+  | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+  | Ok evs ->
+    let spans, orphans = Export.spans_of_events evs in
+    Format.printf "%s: %d events, %d completed spans@." path (List.length evs)
+      (List.length spans);
+    List.iter
+      (fun op ->
+        match inspect_op_table spans op with Some t -> Report.print t | None -> ())
+      [ Event.Join; Event.Read; Event.Write ];
+    (* Message mix: point-to-point copies per wire kind. *)
+    let mix = Hashtbl.create 8 in
+    let sends = ref 0 in
+    let delivered = ref 0 in
+    let dropped = ref 0 in
+    List.iter
+      (fun { Event.ev; _ } ->
+        match ev with
+        | Event.Send { kind; _ } ->
+          incr sends;
+          Hashtbl.replace mix kind (1 + Option.value ~default:0 (Hashtbl.find_opt mix kind))
+        | Event.Deliver _ -> incr delivered
+        | Event.Drop _ -> incr dropped
+        | _ -> ())
+      evs;
+    if !sends > 0 then begin
+      let rows =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix []
+        |> List.sort compare
+        |> List.map (fun (k, v) ->
+               [
+                 k;
+                 Report.cell_int v;
+                 Report.cell_float (100.0 *. float_of_int v /. float_of_int !sends);
+               ])
+      in
+      Report.print
+        (Report.make ~title:"message mix" ~headers:[ "kind"; "sends"; "%" ] rows);
+      Format.printf "delivery   : %d sent, %d delivered, %d dropped@." !sends !delivered
+        !dropped
+    end;
+    (* Churn timeline. *)
+    let joins = ref 0 and leaves = ref 0 in
+    List.iter
+      (fun { Event.at; ev } ->
+        match ev with
+        | Event.Node_join { node } ->
+          incr joins;
+          Format.printf "churn      : %a join p%d@." Time.pp at node
+        | Event.Node_leave { node } ->
+          incr leaves;
+          Format.printf "churn      : %a leave p%d@." Time.pp at node
+        | Event.Gst_reached -> Format.printf "gst        : reached at %a@." Time.pp at
+        | _ -> ())
+      evs;
+    Format.printf "churn      : %d joins, %d leaves@." !joins !leaves;
+    if orphans <> [] then
+      Format.printf "orphans    : %d span(s) still open at end of trace: %s@."
+        (List.length orphans)
+        (String.concat ", " (List.map string_of_int orphans));
+    `Ok ()
+
+let inspect_cmd =
+  let doc =
+    "Summarize a trace produced by $(b,dds run --trace-out) (JSONL or chrome format, \
+     auto-detected)."
+  in
+  let file_t =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(ret (const run_inspect $ file_t))
+
 let sweep_cmd =
   let doc = "Regenerate one experiment table (see DESIGN.md's index)." in
   let name_t =
@@ -443,6 +652,6 @@ let main_cmd =
   let doc = "regular registers in dynamic distributed systems (Baldoni et al., ICDCS 2009)" in
   Cmd.group
     (Cmd.info "dds" ~version:"1.0.0" ~doc)
-    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd ]
+    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -12,22 +12,35 @@ type record = {
 
 type t = {
   metrics : Metrics.t option;
+  events : Event.sink option;
   table : record Pid.Table.t;
   mutable joining_set : Pid.Set.t;
   mutable active_set : Pid.Set.t;
 }
 
-let create ?metrics () =
-  { metrics; table = Pid.Table.create 64; joining_set = Pid.Set.empty; active_set = Pid.Set.empty }
+let create ?metrics ?events () =
+  {
+    metrics;
+    events;
+    table = Pid.Table.create 64;
+    joining_set = Pid.Set.empty;
+    active_set = Pid.Set.empty;
+  }
 
 let bump t name = match t.metrics with Some m -> Metrics.incr m name | None -> ()
+
+let emitf t ~now mk =
+  match t.events with
+  | Some sink when Event.enabled sink -> Event.emit sink ~at:now (mk ())
+  | Some _ | None -> ()
 
 let add t pid ~now =
   if Pid.Table.mem t.table pid then
     invalid_arg (Format.asprintf "Membership.add: %a was already present" Pid.pp pid);
   Pid.Table.replace t.table pid { pid; join_time = now; active_time = None; leave_time = None };
   t.joining_set <- Pid.Set.add pid t.joining_set;
-  bump t "churn.join"
+  bump t "churn.join";
+  emitf t ~now (fun () -> Event.Node_join { node = Pid.to_int pid })
 
 let set_active t pid ~now =
   if not (Pid.Set.mem pid t.joining_set) then
@@ -48,7 +61,8 @@ let remove t pid ~now =
   | None -> assert false);
   t.joining_set <- Pid.Set.remove pid t.joining_set;
   t.active_set <- Pid.Set.remove pid t.active_set;
-  bump t "churn.leave"
+  bump t "churn.leave";
+  emitf t ~now (fun () -> Event.Node_leave { node = Pid.to_int pid })
 
 let status t pid =
   match Pid.Table.find_opt t.table pid with

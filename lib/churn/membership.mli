@@ -24,9 +24,11 @@ type record = {
 
 type t
 
-val create : ?metrics:Metrics.t -> unit -> t
+val create : ?metrics:Metrics.t -> ?events:Event.sink -> unit -> t
 (** An empty composition. [metrics] receives [churn.join],
-    [churn.activate] and [churn.leave] counters. *)
+    [churn.activate] and [churn.leave] counters; [events] receives one
+    typed [Node_join] per {!add} and one [Node_leave] per {!remove}
+    (activation is visible as the join span's [Op_end] instead). *)
 
 val add : t -> Pid.t -> now:Time.t -> unit
 (** The process enters the system (status {!Joining}).

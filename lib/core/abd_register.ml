@@ -21,6 +21,12 @@ let pp_msg ppf = function
   | Write_req { value; wid } -> Format.fprintf ppf "WRITE(%a,wid=%d)" Value.pp value wid
   | Write_ack { wid } -> Format.fprintf ppf "WRITE_ACK(wid=%d)" wid
 
+let msg_kind = function
+  | Read_req _ -> "READ"
+  | Read_reply _ -> "READ_REPLY"
+  | Write_req _ -> "WRITE"
+  | Write_ack _ -> "WRITE_ACK"
+
 type pending =
   | Idle
   | Query of { k : Value.t -> unit; then_write : int option }
@@ -43,6 +49,7 @@ type node = {
   replies : Value.t Pid.Table.t;
   mutable acks : Pid.Set.t;
   mutable pending : pending;
+  span : Op_span.t;
 }
 
 let pid t = t.pid
@@ -53,6 +60,12 @@ let is_server t = t.server
 let quorum t = majority t.params
 let current_sn t = match t.register with Some v -> v.Value.sn | None -> -1
 let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
+let current_span t = Op_span.current t.span
+
+let span_start t op = Op_span.start t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
+let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
+let span_quorum t ~have = Op_span.quorum t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
+let span_finish t = Op_span.finish t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let best_reply t =
   Pid.Table.fold
@@ -63,6 +76,7 @@ let start_propagate t value k =
   t.wid <- t.wid + 1;
   t.acks <- Pid.Set.empty;
   t.pending <- Propagate { k; value };
+  span_phase t "write-back-sent";
   Network.broadcast t.net ~src:t.pid (Write_req { value; wid = t.wid })
 
 let check_completion t =
@@ -70,6 +84,7 @@ let check_completion t =
   | Idle -> ()
   | Query { k; then_write } ->
     if Pid.Table.length t.replies >= quorum t then begin
+      span_phase t "query-quorum-met";
       let best = match best_reply t with Some v -> v | None -> assert false in
       if best.Value.sn > current_sn t then t.register <- Some best;
       let latest = match t.register with Some v -> v | None -> assert false in
@@ -83,12 +98,14 @@ let check_completion t =
         if t.params.read_write_back then start_propagate t latest k
         else begin
           t.pending <- Idle;
+          span_finish t;
           k latest
         end
     end
   | Propagate { k; value } ->
     if Pid.Set.cardinal t.acks >= quorum t then begin
       t.pending <- Idle;
+      span_finish t;
       k value
     end
 
@@ -106,6 +123,9 @@ let handle t ~src msg =
     | Read_reply { value; r_sn } ->
       if r_sn = t.r_sn then begin
         Pid.Table.replace t.replies src value;
+        (match t.pending with
+        | Query _ -> span_quorum t ~have:(Pid.Table.length t.replies)
+        | Idle | Propagate _ -> ());
         check_completion t
       end
     | Write_req { value; wid } ->
@@ -116,6 +136,9 @@ let handle t ~src msg =
     | Write_ack { wid } ->
       if wid = t.wid then begin
         t.acks <- Pid.Set.add src t.acks;
+        (match t.pending with
+        | Propagate _ -> span_quorum t ~have:(Pid.Set.cardinal t.acks)
+        | Idle | Query _ -> ());
         check_completion t
       end
 
@@ -123,6 +146,7 @@ let start_query t ~then_write k =
   t.r_sn <- t.r_sn + 1;
   Pid.Table.reset t.replies;
   t.pending <- Query { k; then_write };
+  span_phase t "query-sent";
   Network.broadcast t.net ~src:t.pid (Read_req { r_sn = t.r_sn })
 
 let create ~sched ~net ~params ~pid ~initial ~on_active =
@@ -141,6 +165,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
       replies = Pid.Table.create 16;
       acks = Pid.Set.empty;
       pending = Idle;
+      span = Op_span.make ();
     }
   in
   Network.attach net pid (fun ~src msg -> handle t ~src msg);
@@ -152,19 +177,23 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
     (* A late arrival joins by performing a client read against the
        founding group — ABD has no membership change, so this is the
        best a static protocol can offer. *)
+    span_start t Event.Join;
     start_query t ~then_write:None (fun value ->
         t.active <- true;
+        span_finish t;
         on_active value));
   t
 
 let read t ~k =
   if not t.active then invalid_arg "Abd_register.read: node is not active";
   if busy t then invalid_arg "Abd_register.read: node is busy";
+  span_start t Event.Read;
   start_query t ~then_write:None k
 
 let write t data ~k =
   if not t.active then invalid_arg "Abd_register.write: node is not active";
   if busy t then invalid_arg "Abd_register.write: node is busy";
+  span_start t Event.Write;
   start_query t ~then_write:(Some data) k
 
 let leave t =

@@ -14,6 +14,7 @@ type config = {
   initial_value : int;
   broadcast_mode : Network.broadcast_mode;
   trace_enabled : bool;
+  events_enabled : bool;
 }
 
 let default_config ~seed ~n ~delay ~churn_rate =
@@ -28,7 +29,12 @@ let default_config ~seed ~n ~delay ~churn_rate =
     initial_value = 0;
     broadcast_mode = Network.Primitive;
     trace_enabled = false;
+    events_enabled = false;
   }
+
+(* Power-of-two tick buckets for the operation-latency histograms:
+   1, 2, 4, ..., 1024 ticks, then the overflow bucket. *)
+let latency_edges = Array.init 11 (fun i -> float_of_int (1 lsl i))
 
 module type S = sig
   module Protocol : Register_intf.PROTOCOL
@@ -42,6 +48,8 @@ module type S = sig
   val membership : t -> Membership.t
   val history : t -> History.t
   val metrics : t -> Metrics.t
+  val metrics_snapshot : t -> Metrics.snapshot
+  val events : t -> Event.sink
   val trace : t -> Trace.t
   val workload_rng : t -> Rng.t
   val now : t -> Time.t
@@ -73,6 +81,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
     membership : Membership.t;
     history : History.t;
     metrics : Metrics.t;
+    events : Event.sink;
     trace : Trace.t;
     churn_rng : Rng.t;
     workload_rng : Rng.t;
@@ -91,9 +100,18 @@ module Make (P : Register_intf.PROTOCOL) = struct
   let membership t = t.membership
   let history t = t.history
   let metrics t = t.metrics
+  let events t = t.events
   let trace t = t.trace
   let workload_rng t = t.workload_rng
   let now t = Scheduler.now t.sched
+
+  let metrics_snapshot t =
+    Metrics.set_gauge t.metrics "sched.events_fired"
+      (float_of_int (Scheduler.events_fired t.sched));
+    Metrics.set_gauge t.metrics "sched.now" (float_of_int (Time.to_int (Scheduler.now t.sched)));
+    Metrics.set_gauge t.metrics "membership.active"
+      (float_of_int (List.length (Membership.active t.membership)));
+    Metrics.snapshot t.metrics
   let writer t = t.writer
   let node t pid = Pid.Table.find_opt t.nodes pid
 
@@ -126,14 +144,17 @@ module Make (P : Register_intf.PROTOCOL) = struct
      path already aborted the record. *)
   let spawn t =
     let pid = Pid.fresh t.pid_gen in
-    Membership.add t.membership pid ~now:(now t);
-    let op_id = History.begin_join t.history pid ~now:(now t) in
+    let entered = now t in
+    Membership.add t.membership pid ~now:entered;
+    let op_id = History.begin_join t.history pid ~now:entered in
     track_op t pid op_id;
     let on_active value =
       if Membership.is_present t.membership pid then begin
         Membership.set_active t.membership pid ~now:(now t);
         History.end_join t.history op_id ~now:(now t) value;
         untrack_op t pid op_id;
+        Metrics.observe t.metrics "latency.join" ~edges:latency_edges
+          (float_of_int (Time.diff (now t) entered));
         Trace.recordf t.trace ~time:(now t) ~topic:"join" "%a active with %a" Pid.pp pid
           Value.pp value
       end
@@ -149,6 +170,13 @@ module Make (P : Register_intf.PROTOCOL) = struct
     match Pid.Table.find_opt t.nodes pid with
     | None -> invalid_arg (Format.asprintf "Deployment.retire: unknown %a" Pid.pp pid)
     | Some node ->
+      (* Close the telemetry span of any operation the departure cuts
+         short, so traces never carry an orphan [Op_start]. *)
+      (match P.current_span node with
+      | Some (span, op) ->
+        Event.emit t.events ~at:(now t)
+          (Event.Op_end { span; node = Pid.to_int pid; op; outcome = Event.Aborted })
+      | None -> ());
       P.leave node;
       abort_pending t pid;
       Membership.remove t.membership pid ~now:(now t);
@@ -163,12 +191,23 @@ module Make (P : Register_intf.PROTOCOL) = struct
     let workload_rng = Rng.split root in
     let sched = Scheduler.create () in
     let metrics = Metrics.create () in
+    let events = Event.create ~enabled:cfg.events_enabled () in
     let trace = Trace.create ~enabled:cfg.trace_enabled () in
     let net =
-      Network.create ~sched ~rng:net_rng ~delay:cfg.delay ~metrics ~trace ~pp_msg:P.pp_msg
-        ~broadcast_mode:cfg.broadcast_mode ()
+      Network.create ~sched ~rng:net_rng ~delay:cfg.delay ~metrics ~trace ~events
+        ~pp_msg:P.pp_msg ~msg_kind:P.msg_kind ~broadcast_mode:cfg.broadcast_mode ()
     in
-    let membership = Membership.create ~metrics () in
+    let membership = Membership.create ~metrics ~events () in
+    (* Stamp the eventually-synchronous model's stabilization instant
+       into the trace. Scheduled only when telemetry is on, so disabled
+       runs keep the exact same scheduler queue as before. *)
+    (if cfg.events_enabled then
+       match Delay.gst cfg.delay with
+       | Some gst ->
+         ignore
+           (Scheduler.schedule_at sched gst (fun () ->
+                Event.emit events ~at:gst Event.Gst_reached))
+       | None -> ());
     let initial_value = Value.initial cfg.initial_value in
     let history = History.create ~initial:initial_value in
     let t =
@@ -179,6 +218,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
         membership;
         history;
         metrics;
+        events;
         trace;
         churn_rng;
         workload_rng;
@@ -239,12 +279,15 @@ module Make (P : Register_intf.PROTOCOL) = struct
 
   let read t pid =
     let node = get_ready_node t pid ~op:"read" in
-    let op_id = History.begin_read t.history pid ~now:(now t) in
+    let started = now t in
+    let op_id = History.begin_read t.history pid ~now:started in
     track_op t pid op_id;
     Metrics.incr t.metrics "op.read";
     P.read node ~k:(fun value ->
         History.end_read t.history op_id ~now:(now t) value;
-        untrack_op t pid op_id)
+        untrack_op t pid op_id;
+        Metrics.observe t.metrics "latency.read" ~edges:latency_edges
+          (float_of_int (Time.diff (now t) started)))
 
   let write_value t pid data =
     let node = get_ready_node t pid ~op:"write" in
@@ -256,12 +299,15 @@ module Make (P : Register_intf.PROTOCOL) = struct
       | Some v when not (Value.is_bottom v) -> v.Value.sn + 1
       | Some _ | None -> 0
     in
-    let op_id = History.begin_write t.history pid ~now:(now t) (Value.make ~data ~sn) in
+    let started = now t in
+    let op_id = History.begin_write t.history pid ~now:started (Value.make ~data ~sn) in
     track_op t pid op_id;
     Metrics.incr t.metrics "op.write";
     P.write node data ~k:(fun value ->
         History.end_write t.history op_id ~now:(now t) value;
-        untrack_op t pid op_id)
+        untrack_op t pid op_id;
+        Metrics.observe t.metrics "latency.write" ~edges:latency_edges
+          (float_of_int (Time.diff (now t) started)))
 
   let write t pid =
     t.write_counter <- t.write_counter + 1;

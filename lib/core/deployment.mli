@@ -31,10 +31,16 @@ type config = {
           it (remember to scale the protocol's delta to
           [relay_depth * hop bound]) *)
   trace_enabled : bool;
+  events_enabled : bool;
+      (** record typed telemetry ({!Event.t}) for the whole run: every
+          message copy, membership change, and operation span. Off by
+          default — a disabled sink records nothing and allocates no
+          event detail. *)
 }
 
 val default_config : seed:int -> n:int -> delay:Delay.t -> churn_rate:float -> config
-(** Uniform churn policy, protected writer, initial value 0, no trace. *)
+(** Uniform churn policy, protected writer, initial value 0, no trace,
+    no typed events. *)
 
 (** The interface a deployment presents, abstracted over its protocol
     so generic drivers (workload generators, sweep runners) can be
@@ -57,6 +63,19 @@ module type S = sig
   val membership : t -> Membership.t
   val history : t -> History.t
   val metrics : t -> Metrics.t
+
+  val metrics_snapshot : t -> Metrics.snapshot
+  (** Freezes the metrics registry, refreshing the deployment-level
+      gauges first ([sched.events_fired], [sched.now],
+      [membership.active]). *)
+
+  val events : t -> Event.sink
+  (** The run's typed-event sink (disabled unless
+      {!config.events_enabled}); protocols, network and membership all
+      feed it. On churn-retire the deployment closes the victim's
+      in-flight span with an [Aborted] {!Event.Op_end}, so every
+      [Op_start] in the record is matched. *)
+
   val trace : t -> Trace.t
   val workload_rng : t -> Rng.t
   (** A dedicated stream for workload decisions, so adding workload

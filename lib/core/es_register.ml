@@ -27,6 +27,14 @@ let pp_msg ppf = function
   | Ack { sn } -> Format.fprintf ppf "ACK(sn=%d)" sn
   | Dl_prev { r_sn } -> Format.fprintf ppf "DL_PREV(r_sn=%d)" r_sn
 
+let msg_kind = function
+  | Inquiry _ -> "INQUIRY"
+  | Read_req _ -> "READ"
+  | Reply _ -> "REPLY"
+  | Write_msg _ -> "WRITE"
+  | Ack _ -> "ACK"
+  | Dl_prev _ -> "DL_PREV"
+
 type pending =
   | Idle
   | Joining of { k : Value.t -> unit }
@@ -54,6 +62,7 @@ type node = {
   mutable write_ack : Pid.Set.t;
   mutable write_sn : int;  (** sequence number of the in-flight write *)
   mutable pending : pending;
+  span : Op_span.t;
 }
 
 let pid t = t.pid
@@ -65,6 +74,12 @@ let read_sn t = t.read_sn
 let replies_gathered t = Pid.Table.length t.replies
 let current_sn t = match t.register with Some v -> v.Value.sn | None -> -1
 let quorum t = majority t.params
+let current_span t = Op_span.current t.span
+
+let span_start t op = Op_span.start t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
+let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
+let span_quorum t ~have = Op_span.quorum t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
+let span_finish t = Op_span.finish t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
 
@@ -94,6 +109,7 @@ let activate t k =
   t.reply_to <- [];
   t.dl_prev <- [];
   List.iter (fun (j, r_sn) -> send t j (Reply { value; r_sn })) targets;
+  span_finish t;
   k value
 
 (* Figure 6 lines 02-05: the write proper, entered once the embedded
@@ -105,6 +121,7 @@ let start_write_collect t data k =
   t.write_sn <- sn;
   t.write_ack <- Pid.Set.empty;
   t.pending <- Write_collect { value; k };
+  span_phase t "write-broadcast";
   Network.broadcast t.net ~src:t.pid (Write_msg { value })
 
 let check_completion t =
@@ -112,11 +129,13 @@ let check_completion t =
   | Idle -> ()
   | Joining { k } ->
     if Pid.Table.length t.replies >= quorum t then begin
+      span_phase t "quorum-met";
       adopt_best t;
       activate t k
     end
   | Reading { k } ->
     if Pid.Table.length t.replies >= quorum t then begin
+      span_phase t "quorum-met";
       adopt_best t;
       t.reading <- false;
       let value = match t.register with Some v -> v | None -> assert false in
@@ -126,20 +145,24 @@ let check_completion t =
         t.write_sn <- value.Value.sn;
         t.write_ack <- Pid.Set.empty;
         t.pending <- Repairing { value; k };
+        span_phase t "repair-broadcast";
         Network.broadcast t.net ~src:t.pid (Write_msg { value })
       end
       else begin
         t.pending <- Idle;
+        span_finish t;
         k value
       end
     end
   | Repairing { value; k } ->
     if Pid.Set.cardinal t.write_ack >= quorum t then begin
       t.pending <- Idle;
+      span_finish t;
       k value
     end
   | Write_read { data; k } ->
     if Pid.Table.length t.replies >= quorum t then begin
+      span_phase t "read-quorum-met";
       adopt_best t;
       t.reading <- false;
       start_write_collect t data k
@@ -147,6 +170,7 @@ let check_completion t =
   | Write_collect { value; k } ->
     if Pid.Set.cardinal t.write_ack >= quorum t then begin
       t.pending <- Idle;
+      span_finish t;
       k value
     end
 
@@ -176,6 +200,10 @@ let handle t ~src msg =
          sequence number (see the interface note on Lemma 7). *)
       if r_sn = t.read_sn then begin
         Pid.Table.replace t.replies src value;
+        (match t.pending with
+        | Joining _ | Reading _ | Write_read _ ->
+          span_quorum t ~have:(Pid.Table.length t.replies)
+        | Idle | Repairing _ | Write_collect _ -> ());
         send t src (Ack { sn = value.Value.sn });
         check_completion t
       end
@@ -188,6 +216,7 @@ let handle t ~src msg =
       (match t.pending with
       | (Write_collect _ | Repairing _) when sn = t.write_sn ->
         t.write_ack <- Pid.Set.add src t.write_ack;
+        span_quorum t ~have:(Pid.Set.cardinal t.write_ack);
         check_completion t
       | _ -> ())
     | Dl_prev { r_sn } ->
@@ -220,6 +249,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
       write_ack = Pid.Set.empty;
       write_sn = -1;
       pending = Idle;
+      span = Op_span.make ();
     }
   in
   Network.attach net pid (fun ~src msg -> handle t ~src msg);
@@ -230,6 +260,8 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
   | None ->
     (* Figure 4 lines 01-03: read_sn = 0 marks the join's inquiry. *)
     t.pending <- Joining { k = on_active };
+    span_start t Event.Join;
+    span_phase t "inquiry-sent";
     Network.broadcast t.net ~src:pid (Inquiry { r_sn = 0 }));
   t
 
@@ -240,16 +272,19 @@ let start_read_phase t pending =
   Pid.Table.reset t.replies;
   t.reading <- true;
   t.pending <- pending;
+  span_phase t "read-req-sent";
   Network.broadcast t.net ~src:t.pid (Read_req { r_sn = t.read_sn })
 
 let read t ~k =
   if not t.active then invalid_arg "Es_register.read: node is not active";
   if busy t then invalid_arg "Es_register.read: node is busy";
+  span_start t Event.Read;
   start_read_phase t (Reading { k })
 
 let write t data ~k =
   if not t.active then invalid_arg "Es_register.write: node is not active";
   if busy t then invalid_arg "Es_register.write: node is busy";
+  span_start t Event.Write;
   start_read_phase t (Write_read { data; k })
 
 let leave t =

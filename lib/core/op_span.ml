@@ -1,0 +1,41 @@
+open Dds_sim
+open Dds_net
+
+type t = { mutable current : (int * Event.op_kind) option }
+
+let make () = { current = None }
+let current t = t.current
+
+let sink_of net = Network.events net
+
+let emit net sched ev =
+  match sink_of net with
+  | Some s -> Event.emit s ~at:(Scheduler.now sched) ev
+  | None -> ()
+
+let start t ~net ~sched ~pid op =
+  match sink_of net with
+  | Some s when Event.enabled s ->
+    let span = Event.fresh_span s in
+    t.current <- Some (span, op);
+    Event.emit s ~at:(Scheduler.now sched) (Event.Op_start { span; node = Pid.to_int pid; op })
+  | Some _ | None -> ()
+
+let phase t ~net ~sched ~pid name =
+  match t.current with
+  | Some (span, _) ->
+    emit net sched (Event.Op_phase { span; node = Pid.to_int pid; phase = name })
+  | None -> ()
+
+let quorum t ~net ~sched ~pid ~have ~need =
+  match t.current with
+  | Some (span, _) ->
+    emit net sched (Event.Quorum_progress { span; node = Pid.to_int pid; have; need })
+  | None -> ()
+
+let finish ?(outcome = Event.Completed) t ~net ~sched ~pid =
+  match t.current with
+  | Some (span, op) ->
+    t.current <- None;
+    emit net sched (Event.Op_end { span; node = Pid.to_int pid; op; outcome })
+  | None -> ()

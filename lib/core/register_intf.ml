@@ -30,6 +30,11 @@ module type PROTOCOL = sig
 
   val pp_msg : Format.formatter -> msg -> unit
 
+  val msg_kind : msg -> string
+  (** The wire kind of a message (["INQUIRY"], ["REPLY"], ...):
+      constant per constructor, used to label typed network telemetry
+      and message-mix summaries. *)
+
   val create :
     sched:Scheduler.t ->
     net:msg Network.t ->
@@ -54,6 +59,15 @@ module type PROTOCOL = sig
 
   val snapshot : node -> Value.t option
   (** The node's local copy of the register, if it holds one. *)
+
+  val current_span : node -> (int * Event.op_kind) option
+  (** The telemetry span of the operation in flight on this node, if
+      any — protocols allocate one span per join/read/write (see
+      {!Event.fresh_span}) and emit its [Op_start]/[Op_phase]/[Op_end]
+      events themselves; the deployment uses this accessor to close
+      the span as [Aborted] when the process is churned out
+      mid-operation. [None] whenever {!busy} is [false] and while no
+      join is in progress, or when the network has no event sink. *)
 
   val read : node -> k:(Value.t -> unit) -> unit
   (** Invokes the read operation. [k] fires with the returned value at

@@ -30,6 +30,8 @@ let pp_msg ppf = function
   | Reply v -> Format.fprintf ppf "REPLY(%a)" Value.pp v
   | Write_msg v -> Format.fprintf ppf "WRITE(%a)" Value.pp v
 
+let msg_kind = function Inquiry -> "INQUIRY" | Reply _ -> "REPLY" | Write_msg _ -> "WRITE"
+
 type op = Idle | Writing of { k : Value.t -> unit }
 
 type node = {
@@ -46,6 +48,7 @@ type node = {
   mutable op : op;
   mutable timers : Scheduler.token list;
   mutable join_retries : int;
+  span : Op_span.t;
 }
 
 let pid t = t.pid
@@ -54,6 +57,11 @@ let busy t = match t.op with Idle -> false | Writing _ -> true
 let snapshot t = t.register
 let join_retries t = t.join_retries
 let joins_in_flight_reply_queue t = t.reply_to
+let current_span t = Op_span.current t.span
+
+let span_start t op = Op_span.start t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
+let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
+let span_finish t = Op_span.finish t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let current_sn t =
   match t.register with
@@ -70,6 +78,7 @@ let activate t =
   let value = match t.register with Some v -> v | None -> assert false in
   List.iter (fun j -> Network.send t.net ~src:t.pid ~dst:j (Reply value)) t.reply_to;
   t.reply_to <- [];
+  span_finish t;
   t.on_active value
 
 (* Lines 07-09: adopt the highest-sequence-number value heard, then
@@ -100,11 +109,13 @@ let rec finish_inquiry t () =
 (* Lines 04-06: broadcast INQUIRY and wait the 2*delta round trip. *)
 and start_inquiry t =
   t.replies <- [];
+  span_phase t "inquiry-sent";
   Network.broadcast t.net ~src:t.pid Inquiry;
   set_timer t (inquiry_round_trip t.params) (finish_inquiry t)
 
 (* Line 03: inquire only if no write reached us during the wait. *)
 let after_join_wait t () =
+  span_phase t "join-wait-over";
   match t.register with Some _ -> activate t | None -> start_inquiry t
 
 let handle t ~src msg =
@@ -141,6 +152,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
       op = Idle;
       timers = [];
       join_retries = 0;
+      span = Op_span.make ();
     }
   in
   Network.attach net pid (fun ~src msg -> handle t ~src msg);
@@ -149,26 +161,37 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
     (* Founding member: active from time 0 with the initial value. *)
     activate t
   | None ->
+    span_start t Event.Join;
     if params.join_wait then set_timer t params.delta (after_join_wait t)
     else after_join_wait t ());
   t
 
 let read t ~k =
   if not t.active then invalid_arg "Sync_register.read: node is not active";
-  (* Fast read: purely local, responds in the same tick (Figure 2). *)
-  match t.register with Some v -> k v | None -> assert false
+  (* Fast read: purely local, responds in the same tick (Figure 2).
+     The span still exists — zero-duration, one per completed read —
+     and closes before [k] so a chained operation can open its own. *)
+  match t.register with
+  | Some v ->
+    span_start t Event.Read;
+    span_finish t;
+    k v
+  | None -> assert false
 
 let write t data ~k =
   if not t.active then invalid_arg "Sync_register.write: node is not active";
   if busy t then invalid_arg "Sync_register.write: node is busy";
   let value = Value.make ~data ~sn:(current_sn t + 1) in
   t.register <- Some value;
+  span_start t Event.Write;
+  span_phase t "write-broadcast";
   Network.broadcast t.net ~src:t.pid (Write_msg value);
   t.op <- Writing { k };
   (* Figure 2, line 02: the writer returns after delta ticks, by which
      time every process present at the broadcast that stayed holds v. *)
   set_timer t t.params.delta (fun () ->
       t.op <- Idle;
+      span_finish t;
       k value)
 
 let leave t =

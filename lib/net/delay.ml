@@ -47,6 +47,10 @@ let sample t ~rng decision =
     if d < 1 then invalid_arg "Delay.sample: adversary returned a delay < 1";
     d
 
+let gst = function
+  | Eventually_synchronous { gst; _ } -> Some gst
+  | Synchronous _ | Synchronous_split _ | Asynchronous _ | Adversarial _ -> None
+
 let known_bound = function
   | Synchronous { delta } -> Some delta
   | Synchronous_split { broadcast; _ } -> Some broadcast

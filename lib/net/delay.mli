@@ -70,6 +70,12 @@ val sample : t -> rng:Rng.t -> decision -> int
 (** Draws the delay for one message. Always [>= 1].
     @raise Invalid_argument if an adversary returns a delay [< 1]. *)
 
+val gst : t -> Time.t option
+(** The global stabilization time of an eventually-synchronous model,
+    [None] for every other model. This is {e observer} information —
+    processes cannot know it; the telemetry layer uses it to stamp a
+    [Gst_reached] event so latency tails can be split pre/post GST. *)
+
 val known_bound : t -> int option
 (** The delay bound processes may rely on: [Some delta] for the
     synchronous model, [None] otherwise (eventual synchrony's [delta]

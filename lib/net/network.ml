@@ -10,7 +10,9 @@ type 'a t = {
   delay : Delay.t;
   metrics : Metrics.t option;
   trace : Trace.t option;
+  events : Event.sink option;
   pp_msg : (Format.formatter -> 'a -> unit) option;
+  msg_kind : ('a -> string) option;
   mode : broadcast_mode;
   handlers : 'a handler Pid.Table.t;
   mutable fault : (Delay.decision -> bool) option;
@@ -20,7 +22,8 @@ type 'a t = {
       (** (destination, origin, broadcast id) already delivered *)
 }
 
-let create ~sched ~rng ~delay ?metrics ?trace ?pp_msg ?(broadcast_mode = Primitive) () =
+let create ~sched ~rng ~delay ?metrics ?trace ?events ?pp_msg ?msg_kind
+    ?(broadcast_mode = Primitive) () =
   (match broadcast_mode with
   | Flooding { relay_depth } when relay_depth < 1 ->
     invalid_arg "Network.create: flooding relay depth must be >= 1"
@@ -31,7 +34,9 @@ let create ~sched ~rng ~delay ?metrics ?trace ?pp_msg ?(broadcast_mode = Primiti
     delay;
     metrics;
     trace;
+    events;
     pp_msg;
+    msg_kind;
     mode = broadcast_mode;
     handlers = Pid.Table.create 64;
     fault = None;
@@ -50,6 +55,15 @@ let tracef t fmt_thunk =
 let pp_payload t ppf msg =
   match t.pp_msg with Some pp -> pp ppf msg | None -> Format.pp_print_string ppf "<msg>"
 
+(* Typed telemetry. The thunk keeps event construction (and the
+   msg_kind string) off the hot path when no enabled sink is wired. *)
+let emitf t mk =
+  match t.events with
+  | Some sink when Event.enabled sink -> Event.emit sink ~at:(Scheduler.now t.sched) (mk ())
+  | Some _ | None -> ()
+
+let kind_of t msg = match t.msg_kind with Some f -> f msg | None -> "msg"
+
 let attach t pid handler =
   if Pid.Table.mem t.handlers pid then
     invalid_arg (Format.asprintf "Network.attach: %a already attached" Pid.pp pid);
@@ -63,6 +77,7 @@ let set_fault t pred = t.fault <- Some pred
 let clear_fault t = t.fault <- None
 let in_flight t = t.flying
 let metrics t = t.metrics
+let events t = t.events
 
 (* Schedules one point-to-point transmission; checks the fault
    predicate at send time and attachment at delivery time. [on_arrival]
@@ -70,9 +85,24 @@ let metrics t = t.metrics
    it to dedup and relay). *)
 let transmit t ~kind ~src ~dst ?on_arrival msg =
   let decision = { Delay.now = Scheduler.now t.sched; src; dst; kind } in
+  (* One Send event (and one net.transmit tick) per point-to-point
+     copy, so [count Send events = net.transmit] holds for any trace;
+     each Send is later resolved by exactly one Deliver or Drop. *)
+  bump t "net.transmit";
+  emitf t (fun () ->
+      Event.Send
+        {
+          src = Pid.to_int src;
+          dst = Pid.to_int dst;
+          kind = kind_of t msg;
+          broadcast = (match kind with Delay.Broadcast -> true | Delay.Point_to_point -> false);
+        });
   let faulted = match t.fault with Some pred -> pred decision | None -> false in
   if faulted then begin
     bump t "net.faulted";
+    emitf t (fun () ->
+        Event.Drop
+          { src = Pid.to_int src; dst = Pid.to_int dst; kind = kind_of t msg; reason = Faulted });
     tracef t (fun tr ->
         Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net" "fault-drop %a->%a: %a"
           Pid.pp src Pid.pp dst (pp_payload t) msg)
@@ -86,6 +116,9 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
            match Pid.Table.find_opt t.handlers dst with
            | Some handler ->
              bump t "net.delivered";
+             emitf t (fun () ->
+                 Event.Deliver
+                   { src = Pid.to_int src; dst = Pid.to_int dst; kind = kind_of t msg });
              tracef t (fun tr ->
                  Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net"
                    "deliver %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg);
@@ -95,6 +128,14 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
            | None ->
              (* Destination left the system before delivery. *)
              bump t "net.dropped";
+             emitf t (fun () ->
+                 Event.Drop
+                   {
+                     src = Pid.to_int src;
+                     dst = Pid.to_int dst;
+                     kind = kind_of t msg;
+                     reason = Departed;
+                   });
              tracef t (fun tr ->
                  Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net"
                    "drop(left) %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg)))

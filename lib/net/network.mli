@@ -58,14 +58,21 @@ val create :
   delay:Delay.t ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
+  ?events:Event.sink ->
   ?pp_msg:(Format.formatter -> 'a -> unit) ->
+  ?msg_kind:('a -> string) ->
   ?broadcast_mode:broadcast_mode ->
   unit ->
   'a t
 (** A network with no attached processes. [metrics] (counters
-    [net.sent], [net.broadcast], [net.delivered], [net.dropped],
-    [net.faulted], [net.relayed], [net.duplicate]) and [trace] are
-    optional observability sinks; [pp_msg] renders payloads in traces.
+    [net.sent], [net.broadcast], [net.transmit], [net.delivered],
+    [net.dropped], [net.faulted], [net.relayed], [net.duplicate]) and
+    [trace] are optional observability sinks; [events] receives typed
+    [Send]/[Deliver]/[Drop] telemetry, one [Send] per point-to-point
+    copy (a broadcast fans out into one per present destination), so a
+    trace's [Send] count always equals the [net.transmit] counter.
+    [pp_msg] renders payloads in string traces; [msg_kind] names each
+    payload's wire kind (e.g. ["INQUIRY"]) in typed events.
     [broadcast_mode] defaults to [Primitive].
     @raise Invalid_argument if a [Flooding] relay depth is [< 1]. *)
 
@@ -107,3 +114,8 @@ val metrics : 'a t -> Metrics.t option
 (** The metrics sink this network reports to, if any — also used by
     protocol nodes to record protocol-level counters (e.g. the
     synchronous join's re-inquiry rounds) without extra plumbing. *)
+
+val events : 'a t -> Event.sink option
+(** The typed-event sink, if any — protocol nodes use it to emit
+    operation spans, phase marks and quorum progress (same plumbing
+    shortcut as {!metrics}). *)

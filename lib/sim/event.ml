@@ -1,0 +1,107 @@
+type op_kind = Join | Read | Write
+
+type outcome = Completed | Aborted
+
+type drop_reason = Departed | Faulted
+
+type t =
+  | Node_join of { node : int }
+  | Node_leave of { node : int }
+  | Send of { src : int; dst : int; kind : string; broadcast : bool }
+  | Deliver of { src : int; dst : int; kind : string }
+  | Drop of { src : int; dst : int; kind : string; reason : drop_reason }
+  | Op_start of { span : int; node : int; op : op_kind }
+  | Op_phase of { span : int; node : int; phase : string }
+  | Op_end of { span : int; node : int; op : op_kind; outcome : outcome }
+  | Quorum_progress of { span : int; node : int; have : int; need : int }
+  | Gst_reached
+
+type stamped = { at : Time.t; ev : t }
+
+let op_kind_to_string = function Join -> "join" | Read -> "read" | Write -> "write"
+
+let op_kind_of_string = function
+  | "join" -> Some Join
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | _ -> None
+
+let outcome_to_string = function Completed -> "completed" | Aborted -> "aborted"
+
+let outcome_of_string = function
+  | "completed" -> Some Completed
+  | "aborted" -> Some Aborted
+  | _ -> None
+
+let drop_reason_to_string = function Departed -> "departed" | Faulted -> "faulted"
+
+let drop_reason_of_string = function
+  | "departed" -> Some Departed
+  | "faulted" -> Some Faulted
+  | _ -> None
+
+let pp ppf = function
+  | Node_join { node } -> Format.fprintf ppf "join p%d" node
+  | Node_leave { node } -> Format.fprintf ppf "leave p%d" node
+  | Send { src; dst; kind; broadcast } ->
+    Format.fprintf ppf "send%s p%d->p%d %s" (if broadcast then "(bcast)" else "") src dst kind
+  | Deliver { src; dst; kind } -> Format.fprintf ppf "deliver p%d->p%d %s" src dst kind
+  | Drop { src; dst; kind; reason } ->
+    Format.fprintf ppf "drop(%s) p%d->p%d %s" (drop_reason_to_string reason) src dst kind
+  | Op_start { span; node; op } ->
+    Format.fprintf ppf "op-start #%d p%d %s" span node (op_kind_to_string op)
+  | Op_phase { span; node; phase } -> Format.fprintf ppf "op-phase #%d p%d %s" span node phase
+  | Op_end { span; node; op; outcome } ->
+    Format.fprintf ppf "op-end #%d p%d %s %s" span node (op_kind_to_string op)
+      (outcome_to_string outcome)
+  | Quorum_progress { span; node; have; need } ->
+    Format.fprintf ppf "quorum #%d p%d %d/%d" span node have need
+  | Gst_reached -> Format.pp_print_string ppf "gst-reached"
+
+(* The buffer mirrors Stats: a doubling array, no per-event boxing
+   beyond the stamped record itself. *)
+type sink = {
+  enabled : bool;
+  mutable buf : stamped array;
+  mutable size : int;
+  mutable next_span : int;
+}
+
+let dummy = { at = Time.zero; ev = Gst_reached }
+
+let create ?(capacity = 256) ~enabled () =
+  { enabled; buf = (if enabled then Array.make (Stdlib.max capacity 1) dummy else [||]); size = 0; next_span = 0 }
+
+let enabled s = s.enabled
+
+let emit s ~at ev =
+  if s.enabled then begin
+    let cap = Array.length s.buf in
+    if s.size = cap then begin
+      let buf = Array.make (2 * cap) dummy in
+      Array.blit s.buf 0 buf 0 s.size;
+      s.buf <- buf
+    end;
+    s.buf.(s.size) <- { at; ev };
+    s.size <- s.size + 1
+  end
+
+let fresh_span s =
+  let id = s.next_span in
+  s.next_span <- id + 1;
+  id
+
+let events s = Array.to_list (Array.sub s.buf 0 s.size)
+let length s = s.size
+let clear s = s.size <- 0
+
+let unclosed_spans evs =
+  let open_spans = Hashtbl.create 64 in
+  List.iter
+    (fun { ev; _ } ->
+      match ev with
+      | Op_start { span; _ } -> Hashtbl.replace open_spans span ()
+      | Op_end { span; _ } -> Hashtbl.remove open_spans span
+      | _ -> ())
+    evs;
+  Hashtbl.fold (fun span () acc -> span :: acc) open_spans [] |> List.sort Int.compare

@@ -1,0 +1,99 @@
+(** Typed telemetry events.
+
+    Where {!Trace} records free-form strings for human eyes, an
+    {!Event.t} is a structured fact about the run — a membership
+    change, one message transmission, one operation phase — that
+    exporters ({!Export}), tests and the [dds inspect] summarizer can
+    all consume without parsing prose. Node identities are carried as
+    raw integers (the underlying value of a [Pid.t]) so the event
+    model lives below the network layer.
+
+    Operations are described by {e spans}: a span id is allocated when
+    an operation starts ({!fresh_span}), marks its progress with
+    [Op_phase] / [Quorum_progress] events, and is closed by exactly
+    one [Op_end]. Span ids are unique within a sink, so join, read and
+    write latencies decompose per phase after the fact (see
+    {!Export.spans_of_events}). *)
+
+type op_kind = Join | Read | Write
+
+type outcome =
+  | Completed
+  | Aborted  (** the process left before the operation responded *)
+
+type drop_reason =
+  | Departed  (** destination left between send and delivery *)
+  | Faulted  (** lost by an injected network fault *)
+
+type t =
+  | Node_join of { node : int }  (** process enters (listening mode) *)
+  | Node_leave of { node : int }  (** process leaves for good *)
+  | Send of { src : int; dst : int; kind : string; broadcast : bool }
+      (** one point-to-point transmission (a broadcast emits one per
+          destination present at broadcast time) *)
+  | Deliver of { src : int; dst : int; kind : string }
+  | Drop of { src : int; dst : int; kind : string; reason : drop_reason }
+  | Op_start of { span : int; node : int; op : op_kind }
+  | Op_phase of { span : int; node : int; phase : string }
+      (** a named intermediate mark, e.g. ["inquiry-sent"] or
+          ["quorum-met"] *)
+  | Op_end of { span : int; node : int; op : op_kind; outcome : outcome }
+  | Quorum_progress of { span : int; node : int; have : int; need : int }
+  | Gst_reached  (** the delay model's global stabilization time *)
+
+type stamped = { at : Time.t; ev : t }
+
+val op_kind_to_string : op_kind -> string
+(** ["join"], ["read"], ["write"]. *)
+
+val op_kind_of_string : string -> op_kind option
+
+val outcome_to_string : outcome -> string
+(** ["completed"], ["aborted"]. *)
+
+val outcome_of_string : string -> outcome option
+
+val drop_reason_to_string : drop_reason -> string
+(** ["departed"], ["faulted"]. *)
+
+val drop_reason_of_string : string -> drop_reason option
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Sinks}
+
+    A sink buffers stamped events in emission order. Like {!Trace}, a
+    sink created disabled drops everything without allocating, so the
+    hot path of a million-operation sweep pays one branch per
+    potential event. *)
+
+type sink
+
+val create : ?capacity:int -> enabled:bool -> unit -> sink
+(** [capacity] is an initial-buffer hint. *)
+
+val enabled : sink -> bool
+(** Callers building event payloads should test this first so a
+    disabled sink allocates nothing. *)
+
+val emit : sink -> at:Time.t -> t -> unit
+(** Appends one event (no-op when disabled). *)
+
+val fresh_span : sink -> int
+(** Allocates the next span id. Ids are unique per sink, starting at
+    0, and are handed out even when the sink is disabled (they are
+    just a counter, and protocol state machines carry them either
+    way). *)
+
+val events : sink -> stamped list
+(** All events, oldest first. *)
+
+val length : sink -> int
+
+val clear : sink -> unit
+(** Drops buffered events; span ids keep increasing. *)
+
+val unclosed_spans : stamped list -> int list
+(** Span ids with an [Op_start] but no matching [Op_end], ascending —
+    the span-pairing invariant checked by tests ([[]] on a quiescent
+    run) and reported by [dds inspect] on truncated ones. *)

@@ -1,0 +1,70 @@
+(** Serializing telemetry: JSONL event dumps, Chrome [trace_event]
+    files, metrics snapshots.
+
+    Three machine-readable views of one run:
+
+    - {b JSONL} — one compact JSON object per event, in emission
+      order. Lossless: {!events_of_jsonl} inverts {!jsonl_of_events},
+      which is what [dds inspect] and cross-PR tooling consume.
+    - {b Chrome trace} — the [trace_event] format loadable in
+      [chrome://tracing] / Perfetto: one pid per node, every completed
+      operation span as a ["X"] duration event (phase marks in its
+      [args]), membership changes / drops / GST as instants.
+    - {b metrics JSON} — a {!Metrics.snapshot} with counters, gauges
+      and histogram buckets.
+
+    All output is deterministic for a deterministic run: same seed,
+    same bytes. *)
+
+val event_to_json : Event.stamped -> Json.t
+
+val event_of_json : Json.t -> (Event.stamped, string) result
+
+val jsonl_of_events : Event.stamped list -> string
+(** One event per line, each line a complete JSON object, trailing
+    newline included. *)
+
+val events_of_jsonl : string -> (Event.stamped list, string) result
+(** Inverse of {!jsonl_of_events}; blank lines are skipped. Fails on
+    the first malformed line, naming its 1-based number. *)
+
+(** {1 Spans} *)
+
+type span = {
+  id : int;
+  node : int;
+  op : Event.op_kind;
+  started : Time.t;
+  ended : Time.t;
+  outcome : Event.outcome;
+  phases : (string * Time.t) list;  (** marks in emission order *)
+}
+(** One completed operation reconstructed from its
+    [Op_start]/[Op_phase]/[Op_end] events. *)
+
+val spans_of_events : Event.stamped list -> span list * int list
+(** [(completed, orphans)]: completed spans in start order, plus the
+    ids of spans opened but never closed (operations still in flight
+    when the trace stopped). *)
+
+val phase_durations : span -> (string * int) list
+(** Decomposes the span into consecutive segments: each phase mark is
+    charged the ticks since the previous mark (or the start), and a
+    final ["end"] segment covers last-mark to response. The segments
+    sum to the span's total latency. *)
+
+(** {1 Whole-file renderings} *)
+
+val chrome_of_events : Event.stamped list -> Json.t
+(** An [Obj] with a [traceEvents] array — spans as ["X"] events
+    ([ts]/[dur] in ticks, reported as microseconds), process-name
+    metadata per node, instants for joins, leaves, drops and GST. *)
+
+val events_of_chrome : Json.t -> (Event.stamped list, string) result
+(** Partial inverse of {!chrome_of_events}, for [dds inspect] on a
+    chrome-format file: spans (with phases and outcome), membership
+    changes and GST reconstruct exactly; per-message [Send]/[Deliver]
+    events are not representable in the chrome rendering and are
+    absent from the result. *)
+
+val metrics_to_json : Metrics.snapshot -> Json.t

@@ -1,0 +1,103 @@
+type t = {
+  edges : float array;  (* strictly increasing upper edges *)
+  counts : int array;  (* length edges + 1; last is overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create ~edges =
+  let k = Array.length edges in
+  if k = 0 then invalid_arg "Histogram.create: no bucket edges";
+  for i = 1 to k - 1 do
+    if edges.(i) <= edges.(i - 1) then
+      invalid_arg "Histogram.create: edges must be strictly increasing"
+  done;
+  { edges = Array.copy edges; counts = Array.make (k + 1) 0; n = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+let linear ~lo ~step ~buckets =
+  if step <= 0.0 then invalid_arg "Histogram.linear: step must be > 0";
+  if buckets < 1 then invalid_arg "Histogram.linear: buckets must be >= 1";
+  create ~edges:(Array.init buckets (fun i -> lo +. (float_of_int i *. step)))
+
+let exponential ~lo ~factor ~buckets =
+  if lo <= 0.0 then invalid_arg "Histogram.exponential: lo must be > 0";
+  if factor <= 1.0 then invalid_arg "Histogram.exponential: factor must be > 1";
+  if buckets < 1 then invalid_arg "Histogram.exponential: buckets must be >= 1";
+  let e = Array.make buckets lo in
+  for i = 1 to buckets - 1 do
+    e.(i) <- e.(i - 1) *. factor
+  done;
+  create ~edges:e
+
+(* First bucket whose upper edge is >= x; the overflow bucket when x
+   is above every edge. *)
+let bucket_of t x =
+  let k = Array.length t.edges in
+  if x > t.edges.(k - 1) then k
+  else begin
+    let lo = ref 0 and hi = ref (k - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x <= t.edges.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let add t x =
+  let b = bucket_of t x in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_int t x = add t (float_of_int x)
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let min_value t = if t.n = 0 then nan else t.min
+let max_value t = if t.n = 0 then nan else t.max
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0,100]";
+  if t.n = 0 then nan
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.n))) in
+    let k = Array.length t.edges in
+    let acc = ref 0 and found = ref None in
+    (try
+       for i = 0 to k do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           found := Some i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    match !found with
+    | Some i when i < k -> t.edges.(i)
+    | Some _ -> t.max (* overflow bucket: the exact max is the tightest bound we have *)
+    | None -> t.max
+  end
+
+let median t = percentile t 50.0
+let edges t = Array.copy t.edges
+let counts t = Array.copy t.counts
+
+let merge a b =
+  if a.edges <> b.edges then invalid_arg "Histogram.merge: bucket layouts differ";
+  let m = create ~edges:a.edges in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.n <- a.n + b.n;
+  m.sum <- a.sum +. b.sum;
+  m.min <- Stdlib.min a.min b.min;
+  m.max <- Stdlib.max a.max b.max;
+  m
+
+let pp_summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f p50<=%.2f p99<=%.2f max=%.2f" t.n (mean t) (median t)
+      (percentile t 99.0) t.max

@@ -1,0 +1,69 @@
+(** Fixed-bucket streaming histograms.
+
+    The memory-bounded counterpart of {!Stats}: instead of keeping
+    every sample (exact percentiles, O(n) memory), a histogram keeps
+    one counter per pre-declared bucket plus running sum/min/max —
+    O(buckets) memory regardless of how many samples flow through, at
+    the cost of percentiles quantized to bucket upper edges. Use
+    {!Stats} for end-of-run tables over thousands of samples; use this
+    for million-operation sweeps and for metrics snapshots exported
+    mid-run (see {!Metrics.histogram}). *)
+
+type t
+
+val create : edges:float array -> t
+(** [create ~edges] has [Array.length edges + 1] buckets: sample [x]
+    falls in the first bucket whose upper edge satisfies
+    [x <= edges.(i)], and above the last edge in the implicit
+    overflow bucket.
+    @raise Invalid_argument if [edges] is empty or not strictly
+    increasing. *)
+
+val linear : lo:float -> step:float -> buckets:int -> t
+(** Edges [lo, lo+step, ..., lo + (buckets-1)*step].
+    @raise Invalid_argument if [step <= 0] or [buckets < 1]. *)
+
+val exponential : lo:float -> factor:float -> buckets:int -> t
+(** Edges [lo, lo*factor, lo*factor^2, ...].
+    @raise Invalid_argument if [lo <= 0], [factor <= 1] or
+    [buckets < 1]. *)
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** Exact (from the running sum); [nan] when empty. *)
+
+val min_value : t -> float
+(** Exact; [nan] when empty. *)
+
+val max_value : t -> float
+(** Exact; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** Nearest-rank percentile quantized up to the containing bucket's
+    upper edge; samples in the overflow bucket report the exact
+    maximum. [nan] when empty.
+    @raise Invalid_argument if [p] is outside [\[0, 100\]]. *)
+
+val median : t -> float
+
+val edges : t -> float array
+(** The bucket upper edges, as given at creation (a copy). *)
+
+val counts : t -> int array
+(** Per-bucket counts, one per edge plus the trailing overflow
+    bucket (a copy). *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' mass.
+    @raise Invalid_argument if the two bucket layouts differ. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n/mean/p50/p99/max] rendering, like
+    {!Stats.pp_summary}. *)

@@ -1,0 +1,41 @@
+(** Minimal JSON values, printing and parsing.
+
+    The repository deliberately depends on no JSON library; this is
+    just enough of RFC 8259 for the telemetry exporters ({!Export})
+    to write JSONL / Chrome-trace / metrics files and for
+    [dds inspect] and the golden-file tests to read them back.
+    Printing is compact (no whitespace) and deterministic: object
+    members keep the order they were built in, floats render with
+    [%.17g] round-tripping only when needed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parses one JSON document (surrounding whitespace allowed). Numbers
+    without ['.'], ['e'] or ['E'] parse as [Int], everything else as
+    [Float]. Errors carry a character offset. *)
+
+(** {1 Accessors} (total — [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+(** First member with that key, for [Obj]. *)
+
+val to_int_opt : t -> int option
+(** [Int n] or integral [Float]. *)
+
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option

@@ -1,13 +1,19 @@
-(** Named counters for a simulated run.
+(** Named counters, gauges and histograms for a simulated run.
 
     Subsystems bump counters ("msg.sent", "msg.dropped", "churn.join",
-    ...) through a shared registry; experiment reports read them back
-    at the end of a run. Purely in-memory and per-deployment — not a
-    global singleton — so concurrent deployments never share state. *)
+    ...), set gauges (last-write-wins point-in-time values) and feed
+    streaming {!Histogram}s (e.g. per-operation latencies) through a
+    shared registry; experiment reports read them back at the end of a
+    run, and {!snapshot} freezes the whole registry into a plain value
+    the {!Export} layer can serialize. Purely in-memory and
+    per-deployment — not a global singleton — so concurrent
+    deployments never share state. *)
 
 type t
 
 val create : unit -> t
+
+(** {1 Counters} *)
 
 val incr : t -> string -> unit
 (** Adds 1 to the named counter, creating it at 0 first if needed. *)
@@ -21,6 +27,52 @@ val get : t -> string -> int
 val to_list : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+(** Sets a point-in-time value (last write wins). *)
+
+val gauge : t -> string -> float option
+(** Current value; [None] for a gauge never set. *)
+
+val gauges : t -> (string * float) list
+(** All gauges, sorted by name. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> edges:float array -> Histogram.t
+(** The named histogram, created with [edges] on first use. Later
+    calls return the existing histogram and ignore [edges] (layouts
+    are fixed at first registration). *)
+
+val observe : t -> string -> edges:float array -> float -> unit
+(** [Histogram.add (histogram t name ~edges) x]. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** All histograms, sorted by name. *)
+
+(** {1 Snapshot} *)
+
+type histogram_snapshot = {
+  edges : float array;
+  counts : int array;  (** one per edge, plus the overflow bucket *)
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when empty *)
+  max : float;  (** [nan] when empty *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauge_values : (string * float) list;
+  histogram_values : (string * histogram_snapshot) list;
+}
+(** All three families, each sorted by name — a stable, immutable
+    image of the registry. *)
+
+val snapshot : t -> snapshot
+
 val reset : t -> unit
+(** Forgets every counter, gauge and histogram. *)
 
 val pp : Format.formatter -> t -> unit

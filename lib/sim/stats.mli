@@ -1,9 +1,20 @@
-(** Streaming summary statistics.
+(** Exact summary statistics (sample-keeping).
 
     Experiment runners accumulate per-operation observations (latencies
     in ticks, message counts, staleness distances) into a {!t} and
-    report count/mean/min/max/percentiles at the end of a run. Samples
-    are kept, so percentiles are exact. *)
+    report count/mean/min/max/percentiles at the end of a run.
+
+    {b Memory tradeoff.} Every sample is kept (8 bytes each, in a
+    doubling array), which is what makes percentiles {e exact} and
+    {!samples}/{!merge} possible — and what makes this type wrong for
+    unbounded streams: a million-operation sweep holds 8 MB per
+    statistic and pays an O(n log n) sort on the first percentile
+    query after each batch of adds. End-of-run tables over at most a
+    few hundred thousand samples are fine; anything high-volume or
+    long-lived (per-operation latencies recorded inside {!Metrics},
+    telemetry exported mid-run) should use the fixed-bucket
+    {!Histogram} instead: O(buckets) memory, O(log buckets) insert,
+    percentiles quantized to bucket upper edges. *)
 
 type t
 (** A mutable collection of [float] samples. *)

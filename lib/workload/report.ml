@@ -46,3 +46,14 @@ let pp ppf t =
   List.iter (fun n -> Format.fprintf ppf "  %s@." n) t.notes
 
 let print t = pp Format.std_formatter t
+
+let to_json t =
+  let module J = Dds_sim.Json in
+  let strings l = J.List (List.map (fun s -> J.String s) l) in
+  J.Obj
+    [
+      ("title", J.String t.title);
+      ("headers", strings t.headers);
+      ("rows", J.List (List.map strings t.rows));
+      ("notes", strings t.notes);
+    ]

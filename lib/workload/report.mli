@@ -25,3 +25,8 @@ val pp : Format.formatter -> t -> unit
 
 val print : t -> unit
 (** [pp] on stdout. *)
+
+val to_json : t -> Dds_sim.Json.t
+(** The table as a JSON object ([title]/[headers]/[rows]/[notes],
+    cells as strings) — what the bench harness aggregates into
+    [BENCH_results.json]. *)

@@ -61,6 +61,7 @@ let fig3 ~join_wait =
       initial_value = 0;
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
+      events_enabled = false;
     }
   in
   let d =
@@ -127,6 +128,7 @@ let inversion () =
       initial_value = 0;
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
+      events_enabled = false;
     }
   in
   let d = Sync_d.create cfg (Sync_register.default_params ~delta:5) in
@@ -187,6 +189,7 @@ let async_staleness ~horizon =
       initial_value = 0;
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
+      events_enabled = false;
     }
   in
   let d = Sync_d.create cfg (Sync_register.default_params ~delta:5) in
@@ -264,6 +267,7 @@ let es_inversion ~read_repair () =
       initial_value = 0;
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
+      events_enabled = false;
     }
   in
   let d =

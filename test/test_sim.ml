@@ -317,6 +317,154 @@ let test_metrics () =
   Metrics.reset m;
   check_int "reset" 0 (Metrics.get m "a")
 
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_bucket_edges () =
+  let h = Histogram.create ~edges:[| 1.0; 2.0; 4.0 |] in
+  (* A sample exactly on an edge lands in that edge's bucket. *)
+  Histogram.add h 1.0;
+  Histogram.add h 2.0;
+  Histogram.add h 4.0;
+  Histogram.add h 0.5;
+  Histogram.add h 3.0;
+  Histogram.add h 100.0;
+  Alcotest.(check (array int)) "bucket layout" [| 2; 1; 2; 1 |] (Histogram.counts h);
+  check_int "count" 6 (Histogram.count h);
+  check (Alcotest.float 1e-9) "min exact" 0.5 (Histogram.min_value h);
+  check (Alcotest.float 1e-9) "max exact" 100.0 (Histogram.max_value h)
+
+let test_histogram_percentile () =
+  let h = Histogram.create ~edges:[| 1.0; 2.0; 4.0; 8.0 |] in
+  List.iter (Histogram.add_int h) [ 1; 1; 1; 1; 2; 2; 3; 4; 5; 16 ];
+  (* Percentiles are quantized up to the containing bucket's edge. *)
+  check (Alcotest.float 1e-9) "p50 quantized" 2.0 (Histogram.percentile h 50.0);
+  check (Alcotest.float 1e-9) "p90 quantized" 8.0 (Histogram.percentile h 90.0);
+  (* Overflow-bucket samples report the exact maximum instead. *)
+  check (Alcotest.float 1e-9) "p100 overflow exact" 16.0 (Histogram.percentile h 100.0);
+  check (Alcotest.float 1e-9) "mean exact" 3.6 (Histogram.mean h)
+
+let test_histogram_generators_and_merge () =
+  let lin = Histogram.linear ~lo:10.0 ~step:5.0 ~buckets:3 in
+  Alcotest.(check (array (float 1e-9))) "linear edges" [| 10.0; 15.0; 20.0 |]
+    (Histogram.edges lin);
+  let exp = Histogram.exponential ~lo:1.0 ~factor:2.0 ~buckets:4 in
+  Alcotest.(check (array (float 1e-9))) "exponential edges" [| 1.0; 2.0; 4.0; 8.0 |]
+    (Histogram.edges exp);
+  let a = Histogram.create ~edges:[| 1.0; 2.0 |] in
+  let b = Histogram.create ~edges:[| 1.0; 2.0 |] in
+  Histogram.add a 0.5;
+  Histogram.add b 1.5;
+  Histogram.add b 9.0;
+  let m = Histogram.merge a b in
+  check_int "merged count" 3 (Histogram.count m);
+  Alcotest.(check (array int)) "merged buckets" [| 1; 1; 1 |] (Histogram.counts m);
+  Alcotest.check_raises "layout mismatch"
+    (Invalid_argument "Histogram.merge: bucket layouts differ") (fun () ->
+      ignore (Histogram.merge a (Histogram.create ~edges:[| 3.0 |])))
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "empty edges"
+    (Invalid_argument "Histogram.create: no bucket edges") (fun () ->
+      ignore (Histogram.create ~edges:[||]));
+  Alcotest.check_raises "non-increasing edges"
+    (Invalid_argument "Histogram.create: edges must be strictly increasing") (fun () ->
+      ignore (Histogram.create ~edges:[| 1.0; 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.Float 2.5);
+        ("c", Json.String "x\"y\n\tz");
+        ("d", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Int (-3) ]) ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok v' -> check_bool "roundtrip" true (v = v')
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> Alcotest.failf "accepted %S" s | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "tru";
+  bad "1 2"
+
+let test_json_escapes () =
+  match Json.parse {|"Aé\t"|} with
+  | Ok (Json.String s) -> check Alcotest.string "unicode escapes" "A\xc3\xa9\t" s
+  | Ok _ | Error _ -> Alcotest.fail "expected a string"
+
+(* ------------------------------------------------------------------ *)
+(* Event sink *)
+
+let test_event_sink_records () =
+  let s = Event.create ~enabled:true () in
+  Event.emit s ~at:Time.zero (Event.Node_join { node = 1 });
+  Event.emit s ~at:(Time.of_int 3) (Event.Gst_reached);
+  check_int "two events" 2 (Event.length s);
+  (match Event.events s with
+  | [ { Event.at = t0; ev = Event.Node_join { node = 1 } }; { Event.at = t3; _ } ] ->
+    check_int "first at 0" 0 (Time.to_int t0);
+    check_int "second at 3" 3 (Time.to_int t3)
+  | _ -> Alcotest.fail "unexpected event list");
+  Event.clear s;
+  check_int "cleared" 0 (Event.length s)
+
+let test_event_sink_disabled () =
+  let s = Event.create ~enabled:false () in
+  for i = 0 to 99 do
+    Event.emit s ~at:Time.zero (Event.Node_join { node = i })
+  done;
+  check_int "disabled sink records nothing" 0 (Event.length s);
+  (* Span ids still advance so code paths stay identical either way. *)
+  check_int "span 0" 0 (Event.fresh_span s);
+  check_int "span 1" 1 (Event.fresh_span s)
+
+let test_event_unclosed_spans () =
+  let s = Event.create ~enabled:true () in
+  let at = Time.zero in
+  Event.emit s ~at (Event.Op_start { span = 0; node = 1; op = Event.Read });
+  Event.emit s ~at (Event.Op_start { span = 1; node = 2; op = Event.Write });
+  Event.emit s ~at
+    (Event.Op_end { span = 0; node = 1; op = Event.Read; outcome = Event.Completed });
+  Event.emit s ~at (Event.Op_start { span = 2; node = 3; op = Event.Join });
+  Alcotest.(check (list int)) "spans 1 and 2 open" [ 1; 2 ]
+    (Event.unclosed_spans (Event.events s))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics gauges / histograms / snapshot *)
+
+let test_metrics_gauges_histograms () =
+  let m = Metrics.create () in
+  Metrics.set_gauge m "g" 1.0;
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (option (float 1e-9))) "last write wins" (Some 2.5) (Metrics.gauge m "g");
+  Alcotest.(check (option (float 1e-9))) "absent gauge" None (Metrics.gauge m "zzz");
+  let edges = [| 1.0; 2.0 |] in
+  Metrics.observe m "h" ~edges 0.5;
+  Metrics.observe m "h" ~edges 5.0;
+  let h = Metrics.histogram m "h" ~edges in
+  check_int "histogram fed" 2 (Histogram.count h);
+  let snap = Metrics.snapshot m in
+  check_int "snapshot histograms" 1 (List.length snap.Metrics.histogram_values);
+  let _, hs = List.hd snap.Metrics.histogram_values in
+  check_int "snapshot count" 2 hs.Metrics.count;
+  check (Alcotest.float 1e-9) "snapshot sum" 5.5 hs.Metrics.sum;
+  Metrics.reset m;
+  check_int "reset drops histograms" 0 (List.length (Metrics.histograms m));
+  Alcotest.(check (option (float 1e-9))) "reset drops gauges" None (Metrics.gauge m "g")
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -370,5 +518,26 @@ let () =
           Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
           Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
           Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "gauges and histograms" `Quick test_metrics_gauges_histograms;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentile;
+          Alcotest.test_case "generators and merge" `Quick
+            test_histogram_generators_and_merge;
+          Alcotest.test_case "invalid" `Quick test_histogram_invalid;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "records" `Quick test_event_sink_records;
+          Alcotest.test_case "disabled" `Quick test_event_sink_disabled;
+          Alcotest.test_case "unclosed spans" `Quick test_event_unclosed_spans;
         ] );
     ]
