@@ -255,6 +255,48 @@ let bench_sync_run =
 let bench_es_run =
   Test.make ~name:"es: 200-tick churn run + check" (Staged.stage (es_run ~horizon:200))
 
+(* Pay-for-what-you-use: the identical ES run with the event sink
+   disabled (one dead branch per potential event), buffering, and
+   buffering plus the live assumption/safety monitors. *)
+let obs_run ~events ~monitors () =
+  let cfg =
+    {
+      (Deployment.default_config ~seed:1 ~n:10 ~delay:(Delay.synchronous ~delta:3)
+         ~churn_rate:0.01)
+      with
+      Deployment.events_enabled = events;
+    }
+  in
+  let d = Es_d.create cfg (Es_register.default_params ~n:10) in
+  if monitors then begin
+    let m =
+      Dds_monitor.Monitor.create
+        {
+          (Dds_monitor.Monitor.default ~n:10 ~delta:3) with
+          Dds_monitor.Monitor.churn_bound = Some (1.0 /. 90.0);
+          majority = true;
+        }
+    in
+    Dds_sim.Event.on_emit (Es_d.events d) (fun st ->
+        ignore (Dds_monitor.Monitor.feed m st))
+  end;
+  Es_d.start_churn d ~until:(Sim_time.of_int 200);
+  Es_gen.run d
+    { (Generator.default ~until:(Sim_time.of_int 200)) with Generator.read_rate = 0.3 };
+  Es_d.run_until d (Sim_time.of_int 250)
+
+let bench_obs_disabled =
+  Test.make ~name:"obs: es run, sink disabled"
+    (Staged.stage (obs_run ~events:false ~monitors:false))
+
+let bench_obs_enabled =
+  Test.make ~name:"obs: es run, sink enabled"
+    (Staged.stage (obs_run ~events:true ~monitors:false))
+
+let bench_obs_monitored =
+  Test.make ~name:"obs: es run, sink + monitors"
+    (Staged.stage (obs_run ~events:true ~monitors:true))
+
 (* One Test.make per experiment table, at reduced scale, so the cost of
    regenerating each table is itself tracked over time. *)
 let bench_e1 =
@@ -318,6 +360,9 @@ let benchmark () =
         bench_scheduler;
         bench_sync_run;
         bench_es_run;
+        bench_obs_disabled;
+        bench_obs_enabled;
+        bench_obs_monitored;
         bench_e1;
         bench_e2;
         bench_e4;

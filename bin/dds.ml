@@ -5,6 +5,8 @@
      scenario  replay one of the paper's constructed executions
      sweep     regenerate one experiment table (E4..E12)
      inspect   summarize a JSONL trace produced by run --trace-out
+     audit     replay a JSONL trace through the assumption/safety
+               monitors and the regularity checker
 
    Everything is deterministic in --seed. *)
 
@@ -83,6 +85,10 @@ type common = {
   trace_out : string option;
   trace_format : string;  (** "jsonl" or "chrome" *)
   metrics_out : string option;
+  monitor : bool;  (** run the online monitors against the live sink *)
+  dot_out : string option;  (** causal message graph as Graphviz DOT *)
+  churn_window : int option;  (** monitor window; default 3 * delta *)
+  liveness_k : int;  (** liveness deadline = k * delta ticks *)
 }
 
 let build_delay c =
@@ -102,8 +108,44 @@ let build_config c =
     initial_value = 0;
     broadcast_mode = Network.Primitive;
     trace_enabled = c.trace;
-    events_enabled = c.trace_out <> None;
+    events_enabled = c.trace_out <> None || c.monitor || c.dot_out <> None;
   }
+
+(* The monitor configuration a protocol's correctness theorem calls
+   for: the sync protocol's churn bound is 1/(3 delta) (Theorem 1 via
+   Lemma 2), the ES protocol's is 1/(3 delta n) plus the standing
+   active-majority assumption (Theorem 4), and ABD assumes a stable
+   majority of its founding group but bounds no churn. Liveness clocks
+   start at GST when the delay model has one. *)
+let monitor_config_for ~protocol c =
+  let base = Dds_monitor.Monitor.default ~n:c.n ~delta:c.delta in
+  let base =
+    {
+      base with
+      Dds_monitor.Monitor.churn_window =
+        (match c.churn_window with Some w -> w | None -> 3 * c.delta);
+      liveness_bound = Some (c.liveness_k * c.delta);
+      liveness_from_gst = c.gst <> None;
+    }
+  in
+  match protocol with
+  | "sync" ->
+    Some
+      {
+        base with
+        Dds_monitor.Monitor.churn_bound = Some (1.0 /. (3.0 *. float_of_int c.delta));
+        liveness_from_gst = false;
+      }
+  | "es" ->
+    Some
+      {
+        base with
+        Dds_monitor.Monitor.churn_bound =
+          Some (1.0 /. (3.0 *. float_of_int c.delta *. float_of_int c.n));
+        majority = true;
+      }
+  | "abd" -> Some { base with Dds_monitor.Monitor.majority = true }
+  | _ -> None
 
 let write_file path contents =
   let oc = open_out path in
@@ -116,6 +158,31 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
     ~name c =
   let d = D.create (build_config c) params in
   let module G = Generator.Make (D) in
+  (* Live monitors: observe every event as the sink buffers it and
+     emit each finding back into the same sink, so recorded traces
+     carry the violations they triggered. Monitor.feed ignores
+     Violation events — the observer never reacts to its own output. *)
+  let mon =
+    if not c.monitor then None
+    else
+      match monitor_config_for ~protocol:name c with
+      | None -> None
+      | Some cfg ->
+        let m = Dds_monitor.Monitor.create cfg in
+        let sink = D.events d in
+        (* [D.create] already emitted the founding joins at t=0; catch
+           the monitor up on the buffered prefix or its active-set
+           count starts empty and the first leave looks fatal. *)
+        List.iter
+          (fun st -> ignore (Dds_monitor.Monitor.feed m st))
+          (Event.events sink);
+        Event.on_emit sink (fun st ->
+            List.iter
+              (fun (v : Dds_monitor.Monitor.violation) ->
+                Event.emit sink ~at:v.Dds_monitor.Monitor.at (Dds_monitor.Monitor.to_event v))
+              (Dds_monitor.Monitor.feed m st));
+        Some m
+  in
   D.start_churn d ~until:(time c.horizon);
   G.run d
     {
@@ -125,6 +192,18 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
       until = time c.horizon;
     };
   D.run_until d (time (c.horizon + (20 * c.delta) + (4 * c.wild)));
+  let monitor_violations =
+    match mon with
+    | None -> []
+    | Some m ->
+      let sink = D.events d in
+      List.iter
+        (fun (v : Dds_monitor.Monitor.violation) ->
+          Event.emit sink ~at:v.Dds_monitor.Monitor.at (Dds_monitor.Monitor.to_event v))
+        (Dds_monitor.Monitor.finalize m ~at:(D.now d));
+      Event.clear_observer sink;
+      Dds_monitor.Monitor.violations m
+  in
   if c.trace then Trace.pp Format.std_formatter (D.trace d);
   (match c.dump_history with
   | Some path ->
@@ -148,9 +227,20 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
     write_file path (Json.to_string (Export.metrics_to_json (D.metrics_snapshot d)) ^ "\n");
     Format.printf "metrics written to %s@." path
   | None -> ());
+  (match c.dot_out with
+  | Some path ->
+    write_file path (Export.dot_of_events (Event.events (D.events d)));
+    Format.printf "causal graph written to %s@." path
+  | None -> ());
   Summary.print ~name ~history:(D.history d) ~regularity:(D.regularity d)
     ~staleness:(D.staleness d) ~metrics:(D.metrics d)
     ~inversions:(Atomicity.inversions (D.history d));
+  if c.monitor then begin
+    Format.printf "monitors   : %d violation(s)@." (List.length monitor_violations);
+    List.iter
+      (fun v -> Format.printf "  %a@." Dds_monitor.Monitor.pp_violation v)
+      monitor_violations
+  end;
   if Regularity.is_ok (D.regularity d) then `Ok () else `Error (false, "safety violated")
 
 module Sync_d = Deployment.Make (Sync_register)
@@ -249,18 +339,52 @@ let metrics_out_t =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write the final metrics snapshot (counters, gauges, histograms) as JSON.")
 
+let monitor_t =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:
+          "Run the online assumption/safety monitors (churn rate, active majority, span \
+           liveness, new/old inversions) against the live event stream; findings are \
+           reported and recorded as violation events in the trace.")
+
+let dot_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the causal message graph (Lamport-stamped sends/delivers) as Graphviz \
+           DOT.")
+
+let churn_window_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "churn-window" ] ~docv:"TICKS"
+        ~doc:"Churn monitor's trailing window (default 3*delta).")
+
+let liveness_k_t =
+  Arg.(
+    value & opt int 10
+    & info [ "liveness-k" ] ~docv:"K"
+        ~doc:"Liveness monitor flags operations open longer than K*delta ticks.")
+
 let common_t =
   let make seed n delta churn policy horizon read_rate write_every gst wild trace
-      dump_history trace_out trace_format metrics_out =
+      dump_history trace_out trace_format metrics_out monitor dot_out churn_window
+      liveness_k =
     {
       seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
-      dump_history; trace_out; trace_format; metrics_out;
+      dump_history; trace_out; trace_format; metrics_out; monitor; dot_out; churn_window;
+      liveness_k;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
     $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
-    $ trace_format_t $ metrics_out_t)
+    $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
+    $ liveness_k_t)
 
 (* The protocol can be given positionally ([dds run es ...]) or via
    [--proto es]; the flag wins when both are present. *)
@@ -559,11 +683,18 @@ let run_inspect path =
   | exception Sys_error e -> `Error (false, e)
   | text ->
   (* Format auto-detection: a chrome trace is one JSON object with a
-     traceEvents array; anything else is treated as JSONL. *)
+     traceEvents array; anything else is treated as JSONL (parsed
+     leniently — a run killed mid-write leaves a partial last line,
+     which should cost a warning, not the whole summary). *)
   let parsed =
     match Json.parse text with
     | Ok j when Json.member "traceEvents" j <> None -> Export.events_of_chrome j
-    | Ok _ | Error _ -> Export.events_of_jsonl text
+    | Ok _ | Error _ -> (
+      match Export.events_of_jsonl_lenient text with
+      | Ok (evs, warnings) ->
+        List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+        Ok evs
+      | Error e -> Error e)
   in
   match parsed with
   | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
@@ -638,6 +769,98 @@ let inspect_cmd =
   in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(ret (const run_inspect $ file_t))
 
+(* audit *)
+
+(* Replays an exported JSONL trace through the streaming monitors and
+   the regularity checker, offline: everything the in-process checkers
+   see is reconstructed from the trace alone (span payloads, Lamport
+   stamps, membership events). Exits non-zero when anything fired. *)
+let run_audit path protocol initial c =
+  match read_file path with
+  | exception Sys_error e -> `Error (false, e)
+  | text -> (
+    match Export.events_of_jsonl_lenient text with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+    | Ok (evs, warnings) ->
+      List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+      let cfg =
+        match monitor_config_for ~protocol c with
+        | Some cfg -> cfg
+        | None ->
+          (* Unknown protocol: safety monitors only, no assumption
+             bounds (they are protocol-specific). *)
+          {
+            (Dds_monitor.Monitor.default ~n:c.n ~delta:c.delta) with
+            Dds_monitor.Monitor.liveness_bound = Some (c.liveness_k * c.delta);
+            liveness_from_gst = c.gst <> None;
+          }
+      in
+      let violations = Dds_monitor.Monitor.run cfg evs in
+      Format.printf "%s: %d events audited (%s monitors, n=%d, delta=%d)@." path
+        (List.length evs) protocol c.n c.delta;
+      (match cfg.Dds_monitor.Monitor.churn_bound with
+      | Some b -> Format.printf "churn bound: %.5f per tick@." b
+      | None -> Format.printf "churn bound: none@.");
+      if violations = [] then Format.printf "monitors   : no violations@."
+      else begin
+        Format.printf "monitors   : %d violation(s)@." (List.length violations);
+        List.iter
+          (fun v -> Format.printf "  %a@." Dds_monitor.Monitor.pp_violation v)
+          violations
+      end;
+      let orphans = Event.unclosed_spans evs in
+      if orphans <> [] then
+        Format.printf "unclosed   : %d span(s) still open at end of trace: %s@."
+          (List.length orphans)
+          (String.concat ", " (List.map string_of_int orphans));
+      let history = Replay.history_of_events ~initial:(Value.initial initial) evs in
+      let report = Regularity.check history in
+      Format.printf "regularity : %s (%d reads, %d joins checked; %d violations)@."
+        (if Regularity.is_ok report then "REGULAR" else "VIOLATED")
+        report.Regularity.checked_reads report.Regularity.checked_joins
+        (List.length report.Regularity.violations);
+      List.iter
+        (fun v -> Format.printf "  %a@." Regularity.pp_violation v)
+        report.Regularity.violations;
+      (match c.dot_out with
+      | Some out ->
+        write_file out (Export.dot_of_events evs);
+        Format.printf "causal graph written to %s@." out
+      | None -> ());
+      if violations = [] && Regularity.is_ok report then `Ok ()
+      else `Error (false, "audit found violations"))
+
+let audit_cmd =
+  let doc =
+    "Replay a JSONL trace through the assumption/safety monitors (churn rate vs the \
+     protocol's admissible bound, active majority, span liveness, new/old inversions) \
+     and the regularity checker. Exits non-zero if anything fired."
+  in
+  let file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSONL trace file.")
+  in
+  let proto_t =
+    Arg.(
+      value
+      & opt string "sync"
+      & info [ "proto"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:
+            "Protocol the trace came from — selects which assumption bounds apply: \
+             $(b,sync) checks churn against 1/(3 delta), $(b,es) against 1/(3 delta n) \
+             plus the active majority, $(b,abd) the majority only.")
+  in
+  let initial_t =
+    Arg.(
+      value & opt int 0
+      & info [ "initial" ] ~docv:"INT"
+          ~doc:
+            "The register's initial value (not recorded in the trace); must match the \
+             run's configuration for the regularity verdict to be meaningful.")
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc)
+    Term.(ret (const run_audit $ file_t $ proto_t $ initial_t $ common_t))
+
 let sweep_cmd =
   let doc = "Regenerate one experiment table (see DESIGN.md's index)." in
   let name_t =
@@ -652,6 +875,6 @@ let main_cmd =
   let doc = "regular registers in dynamic distributed systems (Baldoni et al., ICDCS 2009)" in
   Cmd.group
     (Cmd.info "dds" ~version:"1.0.0" ~doc)
-    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd; inspect_cmd ]
+    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd; inspect_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

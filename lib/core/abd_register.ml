@@ -62,10 +62,10 @@ let current_sn t = match t.register with Some v -> v.Value.sn | None -> -1
 let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
 let current_span t = Op_span.current t.span
 
-let span_start t op = Op_span.start t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
+let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
 let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
 let span_quorum t ~have = Op_span.quorum t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
-let span_finish t = Op_span.finish t.span ~net:t.net ~sched:t.sched ~pid:t.pid
+let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let best_reply t =
   Pid.Table.fold
@@ -98,14 +98,14 @@ let check_completion t =
         if t.params.read_write_back then start_propagate t latest k
         else begin
           t.pending <- Idle;
-          span_finish t;
+          span_finish ~value:latest t;
           k latest
         end
     end
   | Propagate { k; value } ->
     if Pid.Set.cardinal t.acks >= quorum t then begin
       t.pending <- Idle;
-      span_finish t;
+      span_finish ~value t;
       k value
     end
 
@@ -193,7 +193,9 @@ let read t ~k =
 let write t data ~k =
   if not t.active then invalid_arg "Abd_register.write: node is not active";
   if busy t then invalid_arg "Abd_register.write: node is busy";
-  span_start t Event.Write;
+  (* Sequence number fixed after the query phase; the Op_start carries
+     the local guess, the Op_end the disseminated value. *)
+  span_start t ~value:(Value.make ~data ~sn:(current_sn t + 1)) Event.Write;
   start_query t ~then_write:(Some data) k
 
 let leave t =

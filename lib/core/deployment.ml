@@ -175,7 +175,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
       (match P.current_span node with
       | Some (span, op) ->
         Event.emit t.events ~at:(now t)
-          (Event.Op_end { span; node = Pid.to_int pid; op; outcome = Event.Aborted })
+          (Event.Op_end { span; node = Pid.to_int pid; op; outcome = Event.Aborted; value = None })
       | None -> ());
       P.leave node;
       abort_pending t pid;

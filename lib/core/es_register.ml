@@ -76,10 +76,10 @@ let current_sn t = match t.register with Some v -> v.Value.sn | None -> -1
 let quorum t = majority t.params
 let current_span t = Op_span.current t.span
 
-let span_start t op = Op_span.start t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
+let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
 let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
 let span_quorum t ~have = Op_span.quorum t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
-let span_finish t = Op_span.finish t.span ~net:t.net ~sched:t.sched ~pid:t.pid
+let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
 
@@ -109,7 +109,7 @@ let activate t k =
   t.reply_to <- [];
   t.dl_prev <- [];
   List.iter (fun (j, r_sn) -> send t j (Reply { value; r_sn })) targets;
-  span_finish t;
+  span_finish ~value t;
   k value
 
 (* Figure 6 lines 02-05: the write proper, entered once the embedded
@@ -150,14 +150,14 @@ let check_completion t =
       end
       else begin
         t.pending <- Idle;
-        span_finish t;
+        span_finish ~value t;
         k value
       end
     end
   | Repairing { value; k } ->
     if Pid.Set.cardinal t.write_ack >= quorum t then begin
       t.pending <- Idle;
-      span_finish t;
+      span_finish ~value t;
       k value
     end
   | Write_read { data; k } ->
@@ -170,7 +170,7 @@ let check_completion t =
   | Write_collect { value; k } ->
     if Pid.Set.cardinal t.write_ack >= quorum t then begin
       t.pending <- Idle;
-      span_finish t;
+      span_finish ~value t;
       k value
     end
 
@@ -284,7 +284,10 @@ let read t ~k =
 let write t data ~k =
   if not t.active then invalid_arg "Es_register.write: node is not active";
   if busy t then invalid_arg "Es_register.write: node is busy";
-  span_start t Event.Write;
+  (* The final sequence number is fixed only after the embedded read
+     phase; the Op_start carries the local guess (what the deployment's
+     history also records at invocation), the Op_end the true value. *)
+  span_start t ~value:(Value.make ~data ~sn:(current_sn t + 1)) Event.Write;
   start_read_phase t (Write_read { data; k })
 
 let leave t =

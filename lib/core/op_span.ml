@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_spec
 
 type t = { mutable current : (int * Event.op_kind) option }
 
@@ -8,17 +9,22 @@ let current t = t.current
 
 let sink_of net = Network.events net
 
+let payload_of (v : Value.t) = { Event.data = v.Value.data; sn = v.Value.sn }
+
+let payload_opt = Option.map payload_of
+
 let emit net sched ev =
   match sink_of net with
   | Some s -> Event.emit s ~at:(Scheduler.now sched) ev
   | None -> ()
 
-let start t ~net ~sched ~pid op =
+let start ?value t ~net ~sched ~pid op =
   match sink_of net with
   | Some s when Event.enabled s ->
     let span = Event.fresh_span s in
     t.current <- Some (span, op);
-    Event.emit s ~at:(Scheduler.now sched) (Event.Op_start { span; node = Pid.to_int pid; op })
+    Event.emit s ~at:(Scheduler.now sched)
+      (Event.Op_start { span; node = Pid.to_int pid; op; value = payload_opt value })
   | Some _ | None -> ()
 
 let phase t ~net ~sched ~pid name =
@@ -33,9 +39,10 @@ let quorum t ~net ~sched ~pid ~have ~need =
     emit net sched (Event.Quorum_progress { span; node = Pid.to_int pid; have; need })
   | None -> ()
 
-let finish ?(outcome = Event.Completed) t ~net ~sched ~pid =
+let finish ?(outcome = Event.Completed) ?value t ~net ~sched ~pid =
   match t.current with
   | Some (span, op) ->
     t.current <- None;
-    emit net sched (Event.Op_end { span; node = Pid.to_int pid; op; outcome })
+    emit net sched
+      (Event.Op_end { span; node = Pid.to_int pid; op; outcome; value = payload_opt value })
   | None -> ()

@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_spec
 
 (** Per-node operation-span bookkeeping, shared by the protocol
     implementations.
@@ -24,10 +25,20 @@ val current : t -> (int * Event.op_kind) option
 (** The open span, if any — what
     {!Register_intf.PROTOCOL.current_span} returns. *)
 
-val start : t -> net:'a Network.t -> sched:Scheduler.t -> pid:Pid.t -> Event.op_kind -> unit
+val start :
+  ?value:Value.t ->
+  t ->
+  net:'a Network.t ->
+  sched:Scheduler.t ->
+  pid:Pid.t ->
+  Event.op_kind ->
+  unit
 (** Allocates a fresh span id and emits its [Op_start]. Overwrites any
     span still recorded (protocol drivers never overlap operations, so
-    an overwrite only follows an abort already handled upstream). *)
+    an overwrite only follows an abort already handled upstream).
+    [value] is the operation's payload when known at start — for a
+    write, the datum and the sequence number the writer expects to
+    assign. *)
 
 val phase : t -> net:'a Network.t -> sched:Scheduler.t -> pid:Pid.t -> string -> unit
 (** Emits an [Op_phase] mark on the open span (no-op without one). *)
@@ -37,6 +48,15 @@ val quorum :
 (** Emits a [Quorum_progress] on the open span (no-op without one). *)
 
 val finish :
-  ?outcome:Event.outcome -> t -> net:'a Network.t -> sched:Scheduler.t -> pid:Pid.t -> unit
+  ?outcome:Event.outcome ->
+  ?value:Value.t ->
+  t ->
+  net:'a Network.t ->
+  sched:Scheduler.t ->
+  pid:Pid.t ->
+  unit
 (** Emits the [Op_end] (default outcome [Completed]) and forgets the
-    span. No-op without an open span, so a double finish is safe. *)
+    span. No-op without an open span, so a double finish is safe.
+    [value] is the operation's result — the value a read or join
+    returned, the value a write actually installed; omit it for
+    aborts. *)

@@ -59,9 +59,9 @@ let join_retries t = t.join_retries
 let joins_in_flight_reply_queue t = t.reply_to
 let current_span t = Op_span.current t.span
 
-let span_start t op = Op_span.start t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
+let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
 let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
-let span_finish t = Op_span.finish t.span ~net:t.net ~sched:t.sched ~pid:t.pid
+let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let current_sn t =
   match t.register with
@@ -78,7 +78,7 @@ let activate t =
   let value = match t.register with Some v -> v | None -> assert false in
   List.iter (fun j -> Network.send t.net ~src:t.pid ~dst:j (Reply value)) t.reply_to;
   t.reply_to <- [];
-  span_finish t;
+  span_finish ~value t;
   t.on_active value
 
 (* Lines 07-09: adopt the highest-sequence-number value heard, then
@@ -174,7 +174,7 @@ let read t ~k =
   match t.register with
   | Some v ->
     span_start t Event.Read;
-    span_finish t;
+    span_finish ~value:v t;
     k v
   | None -> assert false
 
@@ -183,7 +183,7 @@ let write t data ~k =
   if busy t then invalid_arg "Sync_register.write: node is busy";
   let value = Value.make ~data ~sn:(current_sn t + 1) in
   t.register <- Some value;
-  span_start t Event.Write;
+  span_start ~value t Event.Write;
   span_phase t "write-broadcast";
   Network.broadcast t.net ~src:t.pid (Write_msg value);
   t.op <- Writing { k };
@@ -191,7 +191,7 @@ let write t data ~k =
      time every process present at the broadcast that stayed holds v. *)
   set_timer t t.params.delta (fun () ->
       t.op <- Idle;
-      span_finish t;
+      span_finish ~value t;
       k value)
 
 let leave t =

@@ -20,6 +20,9 @@ type 'a t = {
   mutable broadcast_counter : int;
   flood_seen : (int * int * int, unit) Hashtbl.t;
       (** (destination, origin, broadcast id) already delivered *)
+  clocks : int Pid.Table.t;
+      (** per-process Lamport clocks, maintained only while an enabled
+          event sink is wired (the stamps are observable nowhere else) *)
 }
 
 let create ~sched ~rng ~delay ?metrics ?trace ?events ?pp_msg ?msg_kind
@@ -43,6 +46,7 @@ let create ~sched ~rng ~delay ?metrics ?trace ?events ?pp_msg ?msg_kind
     flying = 0;
     broadcast_counter = 0;
     flood_seen = Hashtbl.create 256;
+    clocks = Pid.Table.create 64;
   }
 
 let bump t name = match t.metrics with Some m -> Metrics.incr m name | None -> ()
@@ -63,6 +67,24 @@ let emitf t mk =
   | Some _ | None -> ()
 
 let kind_of t msg = match t.msg_kind with Some f -> f msg | None -> "msg"
+
+let events_live t = match t.events with Some s -> Event.enabled s | None -> false
+
+(* Lamport stamping. [tick_send] advances the sender's clock by one;
+   [tick_recv] applies the max(local, sent) + 1 receive rule. Both are
+   called only under [events_live], so uninstrumented runs never touch
+   the table. *)
+let clock t pid = match Pid.Table.find_opt t.clocks pid with Some c -> c | None -> 0
+
+let tick_send t pid =
+  let c = clock t pid + 1 in
+  Pid.Table.replace t.clocks pid c;
+  c
+
+let tick_recv t pid ~sent =
+  let c = Stdlib.max (clock t pid) sent + 1 in
+  Pid.Table.replace t.clocks pid c;
+  c
 
 let attach t pid handler =
   if Pid.Table.mem t.handlers pid then
@@ -89,6 +111,7 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
      copy, so [count Send events = net.transmit] holds for any trace;
      each Send is later resolved by exactly one Deliver or Drop. *)
   bump t "net.transmit";
+  let sent_lc = if events_live t then tick_send t src else 0 in
   emitf t (fun () ->
       Event.Send
         {
@@ -96,6 +119,7 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
           dst = Pid.to_int dst;
           kind = kind_of t msg;
           broadcast = (match kind with Delay.Broadcast -> true | Delay.Point_to_point -> false);
+          lamport = sent_lc;
         });
   let faulted = match t.fault with Some pred -> pred decision | None -> false in
   if faulted then begin
@@ -116,9 +140,16 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
            match Pid.Table.find_opt t.handlers dst with
            | Some handler ->
              bump t "net.delivered";
+             let recv_lc = if events_live t then tick_recv t dst ~sent:sent_lc else 0 in
              emitf t (fun () ->
                  Event.Deliver
-                   { src = Pid.to_int src; dst = Pid.to_int dst; kind = kind_of t msg });
+                   {
+                     src = Pid.to_int src;
+                     dst = Pid.to_int dst;
+                     kind = kind_of t msg;
+                     lamport = recv_lc;
+                     sent = sent_lc;
+                   });
              tracef t (fun tr ->
                  Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net"
                    "deliver %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg);

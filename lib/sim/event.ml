@@ -4,17 +4,20 @@ type outcome = Completed | Aborted
 
 type drop_reason = Departed | Faulted
 
+type payload = { data : int; sn : int }
+
 type t =
   | Node_join of { node : int }
   | Node_leave of { node : int }
-  | Send of { src : int; dst : int; kind : string; broadcast : bool }
-  | Deliver of { src : int; dst : int; kind : string }
+  | Send of { src : int; dst : int; kind : string; broadcast : bool; lamport : int }
+  | Deliver of { src : int; dst : int; kind : string; lamport : int; sent : int }
   | Drop of { src : int; dst : int; kind : string; reason : drop_reason }
-  | Op_start of { span : int; node : int; op : op_kind }
+  | Op_start of { span : int; node : int; op : op_kind; value : payload option }
   | Op_phase of { span : int; node : int; phase : string }
-  | Op_end of { span : int; node : int; op : op_kind; outcome : outcome }
+  | Op_end of { span : int; node : int; op : op_kind; outcome : outcome; value : payload option }
   | Quorum_progress of { span : int; node : int; have : int; need : int }
   | Gst_reached
+  | Violation of { monitor : string; detail : string }
 
 type stamped = { at : Time.t; ev : t }
 
@@ -40,23 +43,33 @@ let drop_reason_of_string = function
   | "faulted" -> Some Faulted
   | _ -> None
 
+let pp_payload ppf { data; sn } = Format.fprintf ppf "%d#%d" data sn
+
+let pp_value_opt ppf = function
+  | Some p -> Format.fprintf ppf " %a" pp_payload p
+  | None -> ()
+
 let pp ppf = function
   | Node_join { node } -> Format.fprintf ppf "join p%d" node
   | Node_leave { node } -> Format.fprintf ppf "leave p%d" node
-  | Send { src; dst; kind; broadcast } ->
-    Format.fprintf ppf "send%s p%d->p%d %s" (if broadcast then "(bcast)" else "") src dst kind
-  | Deliver { src; dst; kind } -> Format.fprintf ppf "deliver p%d->p%d %s" src dst kind
+  | Send { src; dst; kind; broadcast; lamport } ->
+    Format.fprintf ppf "send%s p%d->p%d %s lc=%d" (if broadcast then "(bcast)" else "") src dst
+      kind lamport
+  | Deliver { src; dst; kind; lamport; sent } ->
+    Format.fprintf ppf "deliver p%d->p%d %s lc=%d slc=%d" src dst kind lamport sent
   | Drop { src; dst; kind; reason } ->
     Format.fprintf ppf "drop(%s) p%d->p%d %s" (drop_reason_to_string reason) src dst kind
-  | Op_start { span; node; op } ->
-    Format.fprintf ppf "op-start #%d p%d %s" span node (op_kind_to_string op)
+  | Op_start { span; node; op; value } ->
+    Format.fprintf ppf "op-start #%d p%d %s%a" span node (op_kind_to_string op) pp_value_opt
+      value
   | Op_phase { span; node; phase } -> Format.fprintf ppf "op-phase #%d p%d %s" span node phase
-  | Op_end { span; node; op; outcome } ->
-    Format.fprintf ppf "op-end #%d p%d %s %s" span node (op_kind_to_string op)
-      (outcome_to_string outcome)
+  | Op_end { span; node; op; outcome; value } ->
+    Format.fprintf ppf "op-end #%d p%d %s %s%a" span node (op_kind_to_string op)
+      (outcome_to_string outcome) pp_value_opt value
   | Quorum_progress { span; node; have; need } ->
     Format.fprintf ppf "quorum #%d p%d %d/%d" span node have need
   | Gst_reached -> Format.pp_print_string ppf "gst-reached"
+  | Violation { monitor; detail } -> Format.fprintf ppf "violation[%s] %s" monitor detail
 
 (* The buffer mirrors Stats: a doubling array, no per-event boxing
    beyond the stamped record itself. *)
@@ -65,14 +78,25 @@ type sink = {
   mutable buf : stamped array;
   mutable size : int;
   mutable next_span : int;
+  mutable observer : (stamped -> unit) option;
 }
 
 let dummy = { at = Time.zero; ev = Gst_reached }
 
 let create ?(capacity = 256) ~enabled () =
-  { enabled; buf = (if enabled then Array.make (Stdlib.max capacity 1) dummy else [||]); size = 0; next_span = 0 }
+  {
+    enabled;
+    buf = (if enabled then Array.make (Stdlib.max capacity 1) dummy else [||]);
+    size = 0;
+    next_span = 0;
+    observer = None;
+  }
 
 let enabled s = s.enabled
+
+let on_emit s f = if s.enabled then s.observer <- Some f
+
+let clear_observer s = s.observer <- None
 
 let emit s ~at ev =
   if s.enabled then begin
@@ -82,8 +106,10 @@ let emit s ~at ev =
       Array.blit s.buf 0 buf 0 s.size;
       s.buf <- buf
     end;
-    s.buf.(s.size) <- { at; ev };
-    s.size <- s.size + 1
+    let st = { at; ev } in
+    s.buf.(s.size) <- st;
+    s.size <- s.size + 1;
+    match s.observer with Some f -> f st | None -> ()
   end
 
 let fresh_span s =

@@ -13,7 +13,14 @@
     [Op_phase] / [Quorum_progress] events, and is closed by exactly
     one [Op_end]. Span ids are unique within a sink, so join, read and
     write latencies decompose per phase after the fact (see
-    {!Export.spans_of_events}). *)
+    {!Export.spans_of_events}).
+
+    Spans carry operation {e payloads} (the datum/sequence-number pair
+    being written, the value a read or join returned) and message
+    events carry {e Lamport-clock stamps}, so a recorded trace is
+    semantically complete: the register specification checkers can
+    replay it without the in-process history, and the causal message
+    graph reconstructs from the [Send]/[Deliver] pairs alone. *)
 
 type op_kind = Join | Read | Write
 
@@ -25,21 +32,42 @@ type drop_reason =
   | Departed  (** destination left between send and delivery *)
   | Faulted  (** lost by an injected network fault *)
 
+type payload = { data : int; sn : int }
+(** An operation's value, as raw integers (the event model lives below
+    [Dds_spec.Value]). A negative [sn] encodes the bottom value. *)
+
 type t =
   | Node_join of { node : int }  (** process enters (listening mode) *)
   | Node_leave of { node : int }  (** process leaves for good *)
-  | Send of { src : int; dst : int; kind : string; broadcast : bool }
+  | Send of { src : int; dst : int; kind : string; broadcast : bool; lamport : int }
       (** one point-to-point transmission (a broadcast emits one per
-          destination present at broadcast time) *)
-  | Deliver of { src : int; dst : int; kind : string }
+          destination present at broadcast time). [lamport] is the
+          sender's logical clock after stamping this send; successive
+          sends by one process carry strictly increasing stamps, so
+          [(src, lamport)] identifies the transmission. *)
+  | Deliver of { src : int; dst : int; kind : string; lamport : int; sent : int }
+      (** [lamport] is the receiver's clock after the
+          [max(local, sent) + 1] update; [sent] echoes the matching
+          [Send]'s stamp, which is what pairs the two events. *)
   | Drop of { src : int; dst : int; kind : string; reason : drop_reason }
-  | Op_start of { span : int; node : int; op : op_kind }
+  | Op_start of { span : int; node : int; op : op_kind; value : payload option }
+      (** [value] is [Some] for writes: the datum and the sequence
+          number the writer expects to assign (quorum protocols fix
+          the final number mid-operation; completed writes carry the
+          true one on their [Op_end]). *)
   | Op_phase of { span : int; node : int; phase : string }
       (** a named intermediate mark, e.g. ["inquiry-sent"] or
           ["quorum-met"] *)
-  | Op_end of { span : int; node : int; op : op_kind; outcome : outcome }
+  | Op_end of { span : int; node : int; op : op_kind; outcome : outcome; value : payload option }
+      (** [value] is the operation's result when [Completed]: the value
+          a read or join returned, the value a write actually wrote.
+          [None] when [Aborted]. *)
   | Quorum_progress of { span : int; node : int; have : int; need : int }
   | Gst_reached  (** the delay model's global stabilization time *)
+  | Violation of { monitor : string; detail : string }
+      (** an online monitor ({!Dds_monitor.Monitor}) caught an
+          assumption or safety violation during a live run; [monitor]
+          names the checker, [detail] is its human-readable finding *)
 
 type stamped = { at : Time.t; ev : t }
 
@@ -77,7 +105,18 @@ val enabled : sink -> bool
     disabled sink allocates nothing. *)
 
 val emit : sink -> at:Time.t -> t -> unit
-(** Appends one event (no-op when disabled). *)
+(** Appends one event (no-op when disabled), then hands it to the
+    observer if one is attached. *)
+
+val on_emit : sink -> (stamped -> unit) -> unit
+(** Attaches the streaming observer: every subsequent {!emit} calls it
+    with the event just buffered (live monitors hook in here). One
+    observer at a time — a second call replaces the first. The
+    observer may itself [emit] (e.g. a [Violation]); such re-entrant
+    events are buffered and observed in turn, so an observer must not
+    react to the events it produces. No-op on a disabled sink. *)
+
+val clear_observer : sink -> unit
 
 val fresh_span : sink -> int
 (** Allocates the next span id. Ids are unique per sink, starting at

@@ -3,45 +3,57 @@ open Event
 (* ------------------------------------------------------------------ *)
 (* JSONL *)
 
+(* Payload fields are flattened into the event object (["data"], ["sn"])
+   and simply absent when the event carries no value, so traces from
+   before the payload extension still parse. *)
+let payload_fields = function
+  | Some { Event.data; sn } -> [ ("data", Json.Int data); ("sn", Json.Int sn) ]
+  | None -> []
+
 let event_to_json { at; ev } =
   let t = ("t", Json.Int (Time.to_int at)) in
   match ev with
   | Node_join { node } -> Json.Obj [ t; ("e", String "node_join"); ("node", Int node) ]
   | Node_leave { node } -> Json.Obj [ t; ("e", String "node_leave"); ("node", Int node) ]
-  | Send { src; dst; kind; broadcast } ->
+  | Send { src; dst; kind; broadcast; lamport } ->
     Json.Obj
       [
         t; ("e", String "send"); ("src", Int src); ("dst", Int dst); ("kind", String kind);
-        ("bcast", Bool broadcast);
+        ("bcast", Bool broadcast); ("lc", Int lamport);
       ]
-  | Deliver { src; dst; kind } ->
+  | Deliver { src; dst; kind; lamport; sent } ->
     Json.Obj
-      [ t; ("e", String "deliver"); ("src", Int src); ("dst", Int dst); ("kind", String kind) ]
+      [
+        t; ("e", String "deliver"); ("src", Int src); ("dst", Int dst); ("kind", String kind);
+        ("lc", Int lamport); ("slc", Int sent);
+      ]
   | Drop { src; dst; kind; reason } ->
     Json.Obj
       [
         t; ("e", String "drop"); ("src", Int src); ("dst", Int dst); ("kind", String kind);
         ("reason", String (drop_reason_to_string reason));
       ]
-  | Op_start { span; node; op } ->
+  | Op_start { span; node; op; value } ->
     Json.Obj
-      [
-        t; ("e", String "op_start"); ("span", Int span); ("node", Int node);
-        ("op", String (op_kind_to_string op));
-      ]
+      ([
+         t; ("e", String "op_start"); ("span", Int span); ("node", Int node);
+         ("op", String (op_kind_to_string op));
+       ]
+      @ payload_fields value)
   | Op_phase { span; node; phase } ->
     Json.Obj
       [
         t; ("e", String "op_phase"); ("span", Int span); ("node", Int node);
         ("phase", String phase);
       ]
-  | Op_end { span; node; op; outcome } ->
+  | Op_end { span; node; op; outcome; value } ->
     Json.Obj
-      [
-        t; ("e", String "op_end"); ("span", Int span); ("node", Int node);
-        ("op", String (op_kind_to_string op));
-        ("outcome", String (outcome_to_string outcome));
-      ]
+      ([
+         t; ("e", String "op_end"); ("span", Int span); ("node", Int node);
+         ("op", String (op_kind_to_string op));
+         ("outcome", String (outcome_to_string outcome));
+       ]
+      @ payload_fields value)
   | Quorum_progress { span; node; have; need } ->
     Json.Obj
       [
@@ -49,6 +61,9 @@ let event_to_json { at; ev } =
         ("need", Int need);
       ]
   | Gst_reached -> Json.Obj [ t; ("e", String "gst") ]
+  | Violation { monitor; detail } ->
+    Json.Obj
+      [ t; ("e", String "violation"); ("monitor", String monitor); ("detail", String detail) ]
 
 let event_of_json j =
   let ( let* ) r f = Result.bind r f in
@@ -59,6 +74,17 @@ let event_of_json j =
   in
   let int name = field name Json.to_int_opt in
   let str name = field name Json.to_string_opt in
+  (* Absent on traces that predate the field; 0 is the neutral stamp. *)
+  let int_default name d =
+    match Option.bind (Json.member name j) Json.to_int_opt with Some v -> v | None -> d
+  in
+  let payload =
+    match (Option.bind (Json.member "data" j) Json.to_int_opt,
+           Option.bind (Json.member "sn" j) Json.to_int_opt)
+    with
+    | Some data, Some sn -> Some { Event.data; sn }
+    | _, _ -> None
+  in
   let* tick = int "t" in
   if tick < 0 then Error "negative timestamp"
   else begin
@@ -81,12 +107,12 @@ let event_of_json j =
           | Some b -> b
           | None -> false
         in
-        Ok (Send { src; dst; kind; broadcast })
+        Ok (Send { src; dst; kind; broadcast; lamport = int_default "lc" 0 })
       | "deliver" ->
         let* src = int "src" in
         let* dst = int "dst" in
         let* kind = str "kind" in
-        Ok (Deliver { src; dst; kind })
+        Ok (Deliver { src; dst; kind; lamport = int_default "lc" 0; sent = int_default "slc" 0 })
       | "drop" ->
         let* src = int "src" in
         let* dst = int "dst" in
@@ -100,7 +126,7 @@ let event_of_json j =
         let* node = int "node" in
         let* op_s = str "op" in
         (match op_kind_of_string op_s with
-        | Some op -> Ok (Op_start { span; node; op })
+        | Some op -> Ok (Op_start { span; node; op; value = payload })
         | None -> Error (Printf.sprintf "unknown op kind %S" op_s))
       | "op_phase" ->
         let* span = int "span" in
@@ -113,7 +139,7 @@ let event_of_json j =
         let* op_s = str "op" in
         let* outcome_s = str "outcome" in
         (match (op_kind_of_string op_s, outcome_of_string outcome_s) with
-        | Some op, Some outcome -> Ok (Op_end { span; node; op; outcome })
+        | Some op, Some outcome -> Ok (Op_end { span; node; op; outcome; value = payload })
         | None, _ -> Error (Printf.sprintf "unknown op kind %S" op_s)
         | _, None -> Error (Printf.sprintf "unknown outcome %S" outcome_s))
       | "quorum" ->
@@ -123,6 +149,10 @@ let event_of_json j =
         let* need = int "need" in
         Ok (Quorum_progress { span; node; have; need })
       | "gst" -> Ok Gst_reached
+      | "violation" ->
+        let* monitor = str "monitor" in
+        let* detail = str "detail" in
+        Ok (Violation { monitor; detail })
       | other -> Error (Printf.sprintf "unknown event tag %S" other)
     in
     Ok { at; ev }
@@ -154,6 +184,40 @@ let events_of_jsonl text =
   in
   go 1 [] lines
 
+(* Tolerant variant for killed runs: a malformed *final* line is the
+   signature of a process that died mid-write, so it is skipped with a
+   warning; a malformed line anywhere else still aborts the parse
+   (that is corruption, not truncation). *)
+let events_of_jsonl_lenient text =
+  let lines = String.split_on_char '\n' text in
+  let last_nonblank =
+    List.fold_left
+      (fun (i, last) line -> (i + 1, if String.trim line = "" then last else i))
+      (1, 0) lines
+    |> snd
+  in
+  let rec go lineno acc warnings = function
+    | [] -> Ok (List.rev acc, List.rev warnings)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc warnings rest
+      else begin
+        let parsed =
+          match Json.parse line with
+          | Error e -> Error e
+          | Ok j -> event_of_json j
+        in
+        match parsed with
+        | Ok ev -> go (lineno + 1) (ev :: acc) warnings rest
+        | Error e when lineno = last_nonblank ->
+          let w =
+            Printf.sprintf "line %d: partial final line skipped (truncated run?): %s" lineno e
+          in
+          go (lineno + 1) acc (w :: warnings) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      end
+  in
+  go 1 [] [] lines
+
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
@@ -180,7 +244,7 @@ let spans_of_events evs =
   List.iter
     (fun { at; ev } ->
       match ev with
-      | Op_start { span; node; op } ->
+      | Op_start { span; node; op; _ } ->
         Hashtbl.replace open_tbl span { p_node = node; p_op = op; p_started = at; p_phases = [] }
       | Op_phase { span; phase; _ } -> (
         match Hashtbl.find_opt open_tbl span with
@@ -235,7 +299,7 @@ let chrome_of_events evs =
       | Send { src; dst; _ } | Deliver { src; dst; _ } | Drop { src; dst; _ } ->
         note_node src;
         note_node dst
-      | Op_phase _ | Quorum_progress _ | Gst_reached -> ())
+      | Op_phase _ | Quorum_progress _ | Gst_reached | Violation _ -> ())
     evs;
   let metadata =
     Hashtbl.fold (fun n () acc -> n :: acc) nodes []
@@ -355,12 +419,17 @@ let events_of_chrome json =
               | Some _ | None -> []
             in
             Ok
-              (({ at = Time.of_int ts; ev = Op_start { span; node; op } }
+              (({ at = Time.of_int ts; ev = Op_start { span; node; op; value = None } }
                :: List.map
                     (fun (phase, t) ->
                       { at = Time.of_int t; ev = Op_phase { span; node; phase } })
                     phases)
-              @ [ { at = Time.of_int (ts + dur); ev = Op_end { span; node; op; outcome } } ])
+              @ [
+                  {
+                    at = Time.of_int (ts + dur);
+                    ev = Op_end { span; node; op; outcome; value = None };
+                  };
+                ])
           | Some (Json.String "i") -> (
             match (Json.member "cat" item, Json.member "name" item) with
             | Some (Json.String "churn"), Some (Json.String nm) -> (
@@ -384,6 +453,72 @@ let events_of_chrome json =
        emission order. *)
     Ok (List.stable_sort (fun a b -> Time.compare a.at b.at) all)
   | Some _ | None -> Error "missing traceEvents array"
+
+(* ------------------------------------------------------------------ *)
+(* Causal message graph (DOT) *)
+
+(* Each Send/Deliver is a vertex named [p<proc>_<lamport>] — unique
+   because a process's Lamport clock strictly increases on both kinds
+   of step. Edges: the process order (consecutive stamps on one
+   process, drawn solid) and the message order (Send -> its Deliver,
+   matched on the receiver's echoed [sent] stamp, drawn dashed). *)
+let dot_of_events evs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph causality {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  (* Per-process chains, in emission order. *)
+  let chains : (int, (int * string) list ref) Hashtbl.t = Hashtbl.create 32 in
+  let push proc lamport label =
+    let cell =
+      match Hashtbl.find_opt chains proc with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add chains proc c;
+        c
+    in
+    cell := (lamport, label) :: !cell
+  in
+  List.iter
+    (fun { at; ev } ->
+      match ev with
+      | Send { src; dst; kind; lamport; _ } ->
+        push src lamport (Printf.sprintf "t=%d snd %s to p%d" (Time.to_int at) kind dst)
+      | Deliver { src; dst; kind; lamport; _ } ->
+        push dst lamport (Printf.sprintf "t=%d rcv %s from p%d" (Time.to_int at) kind src)
+      | _ -> ())
+    evs;
+  let procs =
+    Hashtbl.fold (fun p _ acc -> p :: acc) chains [] |> List.sort Int.compare
+  in
+  List.iter
+    (fun p ->
+      let entries = List.rev !(Hashtbl.find chains p) in
+      List.iter
+        (fun (lc, label) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  p%d_%d [label=\"p%d.%d %s\"];\n" p lc p lc label))
+        entries;
+      let rec link = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          Buffer.add_string buf (Printf.sprintf "  p%d_%d -> p%d_%d;\n" p a p b);
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link entries)
+    procs;
+  (* Message edges: a Deliver's (src, sent) names its Send vertex. *)
+  List.iter
+    (fun { ev; _ } ->
+      match ev with
+      | Deliver { src; dst; kind; lamport; sent } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  p%d_%d -> p%d_%d [style=dashed, label=\"%s\", fontsize=8];\n" src
+             sent dst lamport kind)
+      | _ -> ())
+    evs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)

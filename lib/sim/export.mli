@@ -28,6 +28,13 @@ val events_of_jsonl : string -> (Event.stamped list, string) result
 (** Inverse of {!jsonl_of_events}; blank lines are skipped. Fails on
     the first malformed line, naming its 1-based number. *)
 
+val events_of_jsonl_lenient : string -> (Event.stamped list * string list, string) result
+(** Like {!events_of_jsonl} but tolerant of truncation: a malformed
+    {e final} non-blank line — the signature of a run killed mid-write
+    — is skipped and reported as a warning instead of aborting the
+    parse. Malformed lines anywhere else (corruption rather than
+    truncation) still fail. Returns [(events, warnings)]. *)
+
 (** {1 Spans} *)
 
 type span = {
@@ -66,5 +73,12 @@ val events_of_chrome : Json.t -> (Event.stamped list, string) result
     changes and GST reconstruct exactly; per-message [Send]/[Deliver]
     events are not representable in the chrome rendering and are
     absent from the result. *)
+
+val dot_of_events : Event.stamped list -> string
+(** The causal message graph in Graphviz DOT: one vertex per [Send] /
+    [Deliver] (named [p<proc>_<lamport>]), solid edges for the
+    process order (consecutive Lamport stamps on one process), dashed
+    edges for the message order (each [Send] to the [Deliver] that
+    echoes its stamp). Render with [dot -Tsvg]. *)
 
 val metrics_to_json : Metrics.snapshot -> Json.t

@@ -1,0 +1,43 @@
+open Dds_sim
+open Dds_net
+
+let value_of_payload { Event.data; sn } =
+  if sn < 0 then Value.bottom else Value.make ~data ~sn
+
+let history_of_events ?(initial = Value.initial 0) events =
+  let h = History.create ~initial in
+  let open_ops : (int, History.op_id) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun { Event.at; ev } ->
+      match ev with
+      | Event.Op_start { span; node; op; value } ->
+        let pid = Pid.of_int node in
+        let id =
+          match op with
+          | Event.Join -> History.begin_join h pid ~now:at
+          | Event.Read -> History.begin_read h pid ~now:at
+          | Event.Write ->
+            (* A write's Op_start carries the writer's sequence-number
+               guess — the same value the deployment hands to
+               [History.begin_write] — so an aborted or pending write
+               reconstructs with the value it may have disseminated. *)
+            let v = match value with Some p -> value_of_payload p | None -> Value.bottom in
+            History.begin_write h pid ~now:at v
+        in
+        Hashtbl.replace open_ops span id
+      | Event.Op_end { span; op; outcome; value; _ } -> (
+        match Hashtbl.find_opt open_ops span with
+        | None -> () (* trace truncated before this span's start *)
+        | Some id ->
+          Hashtbl.remove open_ops span;
+          (match outcome with
+          | Event.Aborted -> History.abort h id
+          | Event.Completed ->
+            let v = match value with Some p -> value_of_payload p | None -> Value.bottom in
+            (match op with
+            | Event.Join -> History.end_join h id ~now:at v
+            | Event.Read -> History.end_read h id ~now:at v
+            | Event.Write -> History.end_write h id ~now:at v)))
+      | _ -> ())
+    events;
+  h

@@ -1,0 +1,28 @@
+open Dds_sim
+
+(** Reconstructing an operation {!History} from an exported event
+    trace.
+
+    Operation spans carry their payloads since the telemetry model
+    became semantically complete: a write's [Op_start] records the
+    writer's datum and sequence-number guess (exactly what the
+    deployment passes to {!History.begin_write}), and every completed
+    span's [Op_end] records the value the operation returned. Replaying
+    those events therefore rebuilds the same history the deployment
+    accumulated in process — same operations, same invocation order,
+    same timestamps, same abort marks — which is what lets [dds audit]
+    run the {!Regularity} / {!Atomicity} checkers on a trace file long
+    after the run that produced it. *)
+
+val value_of_payload : Event.payload -> Value.t
+(** A negative sequence number decodes to {!Value.bottom} (the event
+    model's encoding of ⊥). *)
+
+val history_of_events : ?initial:Value.t -> Event.stamped list -> History.t
+(** Folds the trace's [Op_start] / [Op_end] events into a history.
+    [initial] is the register's time-0 value, which no event records
+    (it is no operation) — it must match the run's [--initial-value]
+    for the virtual initial write to carry the right datum; defaults to
+    [Value.initial 0], the CLI default. Spans still open when the trace
+    ends become pending operations; [Op_end]s whose start fell before a
+    truncated trace's first line are ignored. *)

@@ -434,11 +434,12 @@ let test_event_sink_disabled () =
 let test_event_unclosed_spans () =
   let s = Event.create ~enabled:true () in
   let at = Time.zero in
-  Event.emit s ~at (Event.Op_start { span = 0; node = 1; op = Event.Read });
-  Event.emit s ~at (Event.Op_start { span = 1; node = 2; op = Event.Write });
+  Event.emit s ~at (Event.Op_start { span = 0; node = 1; op = Event.Read; value = None });
+  Event.emit s ~at (Event.Op_start { span = 1; node = 2; op = Event.Write; value = None });
   Event.emit s ~at
-    (Event.Op_end { span = 0; node = 1; op = Event.Read; outcome = Event.Completed });
-  Event.emit s ~at (Event.Op_start { span = 2; node = 3; op = Event.Join });
+    (Event.Op_end
+       { span = 0; node = 1; op = Event.Read; outcome = Event.Completed; value = None });
+  Event.emit s ~at (Event.Op_start { span = 2; node = 3; op = Event.Join; value = None });
   Alcotest.(check (list int)) "spans 1 and 2 open" [ 1; 2 ]
     (Event.unclosed_spans (Event.events s))
 
