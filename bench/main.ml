@@ -183,6 +183,12 @@ let run_tables () =
     (Tables.session_models ~n ~delta
        (Sweep.session_models ~n ~delta ~mean:15.0 ~horizon:(scale 900) ~seed:59));
 
+  (* E24 — nemesis fault matrix. *)
+  let n = 10 and delta = 3 in
+  show
+    (Tables.nemesis_matrix ~n ~delta
+       (Sweep.nemesis_matrix ~n ~delta ~horizon:(Stdlib.max 120 (scale 240)) ~seed:61));
+
   List.rev !acc
 
 (* ------------------------------------------------------------------ *)
@@ -297,6 +303,25 @@ let bench_obs_monitored =
   Test.make ~name:"obs: es run, sink + monitors"
     (Staged.stage (obs_run ~events:true ~monitors:true))
 
+(* Nemesis interposition overhead: the fault hook is installed but the
+   plan answers Pass for every transmission, so the delta against
+   "obs: es run, sink disabled" is the pure cost of consulting a plan
+   on each wire copy. *)
+let nemesis_noop_run () =
+  let cfg =
+    Deployment.default_config ~seed:1 ~n:10 ~delay:(Delay.synchronous ~delta:3)
+      ~churn_rate:0.01
+  in
+  let d = Es_d.create cfg (Es_register.default_params ~n:10) in
+  Network.set_fault_plan (Es_d.network d) (fun _dec ~msg_kind:_ -> Network.Pass);
+  Es_d.start_churn d ~until:(Sim_time.of_int 200);
+  Es_gen.run d
+    { (Generator.default ~until:(Sim_time.of_int 200)) with Generator.read_rate = 0.3 };
+  Es_d.run_until d (Sim_time.of_int 250)
+
+let bench_nemesis_noop =
+  Test.make ~name:"fault: es run, empty nemesis plan" (Staged.stage nemesis_noop_run)
+
 (* One Test.make per experiment table, at reduced scale, so the cost of
    regenerating each table is itself tracked over time. *)
 let bench_e1 =
@@ -363,6 +388,7 @@ let benchmark () =
         bench_obs_disabled;
         bench_obs_enabled;
         bench_obs_monitored;
+        bench_nemesis_noop;
         bench_e1;
         bench_e2;
         bench_e4;

@@ -7,6 +7,8 @@
      inspect   summarize a JSONL trace produced by run --trace-out
      audit     replay a JSONL trace through the assumption/safety
                monitors and the regularity checker
+     hunt      randomized nemesis search for counterexamples, with
+               shrinking to a minimal repro
 
    Everything is deterministic in --seed. *)
 
@@ -16,6 +18,7 @@ open Dds_churn
 open Dds_spec
 open Dds_core
 open Dds_workload
+open Dds_fault
 open Cmdliner
 
 let time = Time.of_int
@@ -89,7 +92,32 @@ type common = {
   dot_out : string option;  (** causal message graph as Graphviz DOT *)
   churn_window : int option;  (** monitor window; default 3 * delta *)
   liveness_k : int;  (** liveness deadline = k * delta ticks *)
+  nemesis : Nemesis.plan option;  (** fault schedule to arm before running *)
 }
+
+(* A copy-pasteable repro of this run's configuration — echoed on
+   every failure path, so a red run is one paste away from replaying. *)
+let repro_line ~protocol c =
+  let b = Buffer.create 96 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf "dds run %s --seed %d --nodes %d --delta %d" protocol c.seed c.n c.delta;
+  if c.churn <> 0.0 then addf " --churn %g" c.churn;
+  (match c.policy with
+  | Churn.Uniform -> ()
+  | p -> addf " --policy %s" (Format.asprintf "%a" Churn.pp_policy p));
+  addf " --horizon %d" c.horizon;
+  if c.read_rate <> 1.0 then addf " --read-rate %g" c.read_rate;
+  if c.write_every <> 20 then addf " --write-every %d" c.write_every;
+  (match c.gst with
+  | Some g ->
+    addf " --gst %d" g;
+    if c.wild <> 50 then addf " --wild %d" c.wild
+  | None -> ());
+  if c.monitor then addf " --monitor";
+  (match c.nemesis with
+  | Some plan -> addf " --nemesis '%s'" (Nemesis.to_string plan)
+  | None -> ());
+  Buffer.contents b
 
 let build_delay c =
   match c.gst with
@@ -157,6 +185,13 @@ let write_file path contents =
 let make_runner (type p) (module D : Deployment.S with type Protocol.params = p) (params : p)
     ~name c =
   let d = D.create (build_config c) params in
+  let module I = Injector.Make (D) in
+  (* Armed before anything runs, with a stream split from the workload
+     rng — exactly what Harness.run does, so a `dds hunt` repro line
+     replays the identical execution through `dds run`. *)
+  (match c.nemesis with
+  | Some plan -> ignore (I.install ~rng:(Rng.split (D.workload_rng d)) d plan)
+  | None -> ());
   let module G = Generator.Make (D) in
   (* Live monitors: observe every event as the sink buffers it and
      emit each finding back into the same sink, so recorded traces
@@ -241,7 +276,11 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
       (fun v -> Format.printf "  %a@." Dds_monitor.Monitor.pp_violation v)
       monitor_violations
   end;
-  if Regularity.is_ok (D.regularity d) then `Ok () else `Error (false, "safety violated")
+  if Regularity.is_ok (D.regularity d) then `Ok ()
+  else begin
+    Format.printf "repro      : %s@." (repro_line ~protocol:name c);
+    `Error (false, "safety violated")
+  end
 
 module Sync_d = Deployment.Make (Sync_register)
 module Es_d = Deployment.Make (Es_register)
@@ -370,21 +409,34 @@ let liveness_k_t =
     & info [ "liveness-k" ] ~docv:"K"
         ~doc:"Liveness monitor flags operations open longer than K*delta ticks.")
 
+let nemesis_t =
+  let parse s = Result.map_error (fun e -> `Msg e) (Nemesis.of_string s) in
+  Arg.(
+    value
+    & opt (some (conv (parse, Nemesis.pp))) None
+    & info [ "nemesis" ] ~docv:"PLAN"
+        ~doc:
+          "Arm a fault schedule before running: $(b,;)-separated steps like \
+           $(b,drop(kind=INQUIRY,p=0.1,max=5)@[10,50]), $(b,dup(copies=2)), \
+           $(b,delay(extra=9)@[40,60]), $(b,corrupt()), \
+           $(b,partition(a=0-4,b=5-9)@[100,150]), $(b,crash(k=2,recover=10)@120), \
+           $(b,storm(k=6)@200). Every injected fault is recorded in the typed trace.")
+
 let common_t =
   let make seed n delta churn policy horizon read_rate write_every gst wild trace
       dump_history trace_out trace_format metrics_out monitor dot_out churn_window
-      liveness_k =
+      liveness_k nemesis =
     {
       seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
       dump_history; trace_out; trace_format; metrics_out; monitor; dot_out; churn_window;
-      liveness_k;
+      liveness_k; nemesis;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
     $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
     $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
-    $ liveness_k_t)
+    $ liveness_k_t $ nemesis_t)
 
 (* The protocol can be given positionally ([dds run es ...]) or via
    [--proto es]; the flag wins when both are present. *)
@@ -606,6 +658,11 @@ let run_sweep name c =
             ~speeds:[ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
             ~horizon:c.horizon ~seed:c.seed));
     `Ok ()
+  | "nemesis" ->
+    Report.print
+      (Tables.nemesis_matrix ~n:c.n ~delta:c.delta
+         (Sweep.nemesis_matrix ~n:c.n ~delta:c.delta ~horizon:c.horizon ~seed:c.seed));
+    `Ok ()
   | "joinopt" ->
     Report.print
       (Tables.join_wait_optimization ~n:c.n ~delta:(Stdlib.max c.delta 4)
@@ -617,7 +674,7 @@ let run_sweep name c =
     `Error
       ( true,
         Printf.sprintf
-          "unknown sweep %S (lemma2|safety|boundary|versus|msgs|quorum|threshold|bursty|loss|joinopt|broadcast|consensus|geo|repair|calibration|sessions)"
+          "unknown sweep %S (lemma2|safety|boundary|versus|msgs|quorum|threshold|bursty|loss|joinopt|broadcast|consensus|geo|repair|calibration|sessions|nemesis)"
           other )
 
 (* inspect *)
@@ -861,6 +918,124 @@ let audit_cmd =
     (Cmd.info "audit" ~doc)
     Term.(ret (const run_audit $ file_t $ proto_t $ initial_t $ common_t))
 
+(* hunt *)
+
+(* Randomized counterexample search: seeds [seed, seed + plans) each
+   get a deterministically derived random nemesis plan (or the fixed
+   --nemesis plan when given); the first violating run is shrunk to a
+   minimal plan and echoed as a copy-pasteable `dds run` line. Exits
+   non-zero iff a violation was found, so CI can assert both
+   directions: a within-model hunt must come back clean, a fixed
+   assumption-breaking plan must be flagged. *)
+let run_hunt protocol plans profile no_shrink c =
+  let drive (type p) (module D : Deployment.S with type Protocol.params = p) (params : p) =
+    let module H = Harness.Make (D) in
+    let spec =
+      {
+        Harness.horizon = c.horizon;
+        (* Same drain as make_runner, so repro lines replay exactly. *)
+        drain = (20 * c.delta) + (4 * c.wild);
+        read_rate = c.read_rate;
+        write_every = c.write_every;
+        monitor =
+          (* As a hunt judge, the inversion monitor only applies to the
+             protocol that promises atomicity: sync and es implement a
+             regular register, and a new/old inversion is legitimate
+             behavior there (the paper's Figure 4), not a
+             counterexample. *)
+          Option.map
+            (fun cfg ->
+              { cfg with Dds_monitor.Monitor.inversions = String.equal protocol "abd" })
+            (monitor_config_for ~protocol c);
+      }
+    in
+    let runner ~seed plan = H.run { (build_config c) with Deployment.seed } params spec plan in
+    let gen ~seed =
+      match c.nemesis with
+      | Some plan -> plan
+      | None ->
+        (* Derived from the seed but offset, so the plan stream never
+           collides with the deployment's own root stream. *)
+        let rng = Rng.create ~seed:(seed lxor 0x6e656d65736973) in
+        Nemesis.random ~rng ~n:c.n ~horizon:c.horizon ~delta:c.delta profile
+    in
+    let seeds = List.init plans (fun i -> c.seed + i) in
+    match Hunt.search ~runner ~gen seeds with
+    | None ->
+      Format.printf "hunt       : %d seed(s) clean (seeds %d..%d, %s profile)@." plans c.seed
+        (c.seed + plans - 1)
+        (match profile with Nemesis.Within _ -> "within-model" | Nemesis.Any -> "any");
+      `Ok ()
+    | Some found ->
+      Format.printf "hunt       : violation at seed %d after %d run(s)@." found.Hunt.seed
+        found.Hunt.runs;
+      Format.printf "plan       : %s@." (Nemesis.to_string found.Hunt.plan);
+      List.iter (fun v -> Format.printf "  %s@." v) found.Hunt.violations;
+      let found =
+        if no_shrink then found
+        else begin
+          let shrunk = Hunt.shrink ~runner found in
+          Format.printf "shrunk     : %s (%d attempt(s))@."
+            (match shrunk.Hunt.plan with
+            | [] -> "<no faults needed>"
+            | p -> Nemesis.to_string p)
+            shrunk.Hunt.runs;
+          List.iter (fun v -> Format.printf "  %s@." v) shrunk.Hunt.violations;
+          shrunk
+        end
+      in
+      let repro_c =
+        {
+          c with
+          seed = found.Hunt.seed;
+          monitor = true;
+          nemesis = (match found.Hunt.plan with [] -> None | p -> Some p);
+        }
+      in
+      Format.printf "repro      : %s@." (repro_line ~protocol repro_c);
+      `Error (false, "hunt found a violating execution")
+  in
+  match protocol with
+  | "sync" -> drive (module Sync_d) (Sync_register.default_params ~delta:c.delta)
+  | "es" -> drive (module Es_d) (Es_register.default_params ~n:c.n)
+  | "abd" -> drive (module Abd_d) (Abd_register.default_params ~group_size:c.n)
+  | other -> `Error (true, Printf.sprintf "unknown protocol %S (sync|es|abd)" other)
+
+let hunt_cmd =
+  let doc =
+    "Randomized nemesis search: N seeds each run a seed-derived random fault plan (or the \
+     fixed $(b,--nemesis) plan); the first violating run is shrunk to a minimal \
+     counterexample and echoed as a copy-pasteable $(b,dds run) repro line. Exits \
+     non-zero iff a violation was found."
+  in
+  let plans_t =
+    Arg.(
+      value & opt int 25
+      & info [ "plans"; "runs" ] ~docv:"N" ~doc:"How many seeds (and random plans) to try.")
+  in
+  let profile_t =
+    Arg.(
+      value
+      & opt (enum [ ("any", Nemesis.Any); ("within", Nemesis.Within { slack = 0 }) ]) Nemesis.Any
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Plan space: $(b,any) draws from the full arsenal (partitions, drops, \
+             over-delta delays, mass crashes — assumption-breaking allowed); $(b,within) \
+             draws only faults the paper's model tolerates (duplicates, bounded churn \
+             bursts, crash-with-recovery), so such a hunt must come back clean.")
+  in
+  let no_shrink_t =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report the first counterexample without minimizing it.")
+  in
+  Cmd.v (Cmd.info "hunt" ~doc)
+    Term.(
+      ret
+        (const (fun pos flag plans profile no_shrink c ->
+             resolve_protocol pos flag (fun p -> run_hunt p plans profile no_shrink c))
+        $ protocol_pos_t $ protocol_flag_t $ plans_t $ profile_t $ no_shrink_t $ common_t))
+
 let sweep_cmd =
   let doc = "Regenerate one experiment table (see DESIGN.md's index)." in
   let name_t =
@@ -875,6 +1050,6 @@ let main_cmd =
   let doc = "regular registers in dynamic distributed systems (Baldoni et al., ICDCS 2009)" in
   Cmd.group
     (Cmd.info "dds" ~version:"1.0.0" ~doc)
-    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd; inspect_cmd; audit_cmd ]
+    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd; inspect_cmd; audit_cmd; hunt_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

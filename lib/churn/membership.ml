@@ -8,6 +8,7 @@ type record = {
   join_time : Time.t;
   mutable active_time : Time.t option;
   mutable leave_time : Time.t option;
+  mutable crashed : bool;
 }
 
 type t = {
@@ -37,7 +38,8 @@ let emitf t ~now mk =
 let add t pid ~now =
   if Pid.Table.mem t.table pid then
     invalid_arg (Format.asprintf "Membership.add: %a was already present" Pid.pp pid);
-  Pid.Table.replace t.table pid { pid; join_time = now; active_time = None; leave_time = None };
+  Pid.Table.replace t.table pid
+    { pid; join_time = now; active_time = None; leave_time = None; crashed = false };
   t.joining_set <- Pid.Set.add pid t.joining_set;
   bump t "churn.join";
   emitf t ~now (fun () -> Event.Node_join { node = Pid.to_int pid })
@@ -52,17 +54,25 @@ let set_active t pid ~now =
   t.active_set <- Pid.Set.add pid t.active_set;
   bump t "churn.activate"
 
-let remove t pid ~now =
+let remove t ?(crashed = false) pid ~now =
   let present = Pid.Set.mem pid t.joining_set || Pid.Set.mem pid t.active_set in
   if not present then
     invalid_arg (Format.asprintf "Membership.remove: %a is not present" Pid.pp pid);
   (match Pid.Table.find_opt t.table pid with
-  | Some r -> r.leave_time <- Some now
+  | Some r ->
+    r.leave_time <- Some now;
+    r.crashed <- crashed
   | None -> assert false);
   t.joining_set <- Pid.Set.remove pid t.joining_set;
   t.active_set <- Pid.Set.remove pid t.active_set;
-  bump t "churn.leave";
-  emitf t ~now (fun () -> Event.Node_leave { node = Pid.to_int pid })
+  if crashed then begin
+    bump t "churn.crash";
+    emitf t ~now (fun () -> Event.Node_crash { node = Pid.to_int pid })
+  end
+  else begin
+    bump t "churn.leave";
+    emitf t ~now (fun () -> Event.Node_leave { node = Pid.to_int pid })
+  end
 
 let status t pid =
   match Pid.Table.find_opt t.table pid with

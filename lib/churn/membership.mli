@@ -20,15 +20,21 @@ type record = {
   join_time : Time.t;  (** when the process entered (listening from here) *)
   mutable active_time : Time.t option;  (** when [join] returned, if it did *)
   mutable leave_time : Time.t option;  (** when it left, if it did *)
+  mutable crashed : bool;
+      (** the departure was a crash-stop, not a graceful leave — the
+          model treats both identically (a crash {e is} an unannounced
+          leave, Section 2.1), so this only feeds audit attribution *)
 }
 
 type t
 
 val create : ?metrics:Metrics.t -> ?events:Event.sink -> unit -> t
 (** An empty composition. [metrics] receives [churn.join],
-    [churn.activate] and [churn.leave] counters; [events] receives one
-    typed [Node_join] per {!add} and one [Node_leave] per {!remove}
-    (activation is visible as the join span's [Op_end] instead). *)
+    [churn.activate], [churn.leave] and [churn.crash] counters;
+    [events] receives one typed [Node_join] per {!add} and one
+    [Node_leave] — or [Node_crash] for a [~crashed] removal — per
+    {!remove} (activation is visible as the join span's [Op_end]
+    instead). *)
 
 val add : t -> Pid.t -> now:Time.t -> unit
 (** The process enters the system (status {!Joining}).
@@ -38,8 +44,12 @@ val set_active : t -> Pid.t -> now:Time.t -> unit
 (** The process's [join] returned.
     @raise Invalid_argument if the pid is not currently {!Joining}. *)
 
-val remove : t -> Pid.t -> now:Time.t -> unit
-(** The process leaves, forever.
+val remove : t -> ?crashed:bool -> Pid.t -> now:Time.t -> unit
+(** The process leaves, forever. [~crashed:true] (default [false])
+    marks the departure as a crash-stop: same membership effect, but
+    the record is flagged, the event is [Node_crash] and the counter is
+    [churn.crash], so traces distinguish injected crashes from the
+    churn engine's graceful departures.
     @raise Invalid_argument if the pid is not currently present. *)
 
 val status : t -> Pid.t -> status option

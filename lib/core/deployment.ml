@@ -58,6 +58,7 @@ module type S = sig
   val node : t -> Pid.t -> Protocol.node option
   val spawn : t -> Pid.t
   val retire : t -> Pid.t -> unit
+  val crash : t -> Pid.t -> unit
   val start_churn : t -> until:Time.t -> unit
   val stop_churn : t -> unit
   val read : t -> Pid.t -> unit
@@ -166,9 +167,14 @@ module Make (P : Register_intf.PROTOCOL) = struct
     Trace.recordf t.trace ~time:(now t) ~topic:"join" "%a enters" Pid.pp pid;
     pid
 
-  let retire t pid =
+  (* A crash-stop and a graceful leave are mechanically the same
+     departure — the model equates them (a crash is an unannounced
+     leave, and [P.leave] is already silent in every protocol) — so
+     they share one path and differ only in bookkeeping: the membership
+     record, the emitted event and the trace topic say which it was. *)
+  let depart t ~crashed ~who pid =
     match Pid.Table.find_opt t.nodes pid with
-    | None -> invalid_arg (Format.asprintf "Deployment.retire: unknown %a" Pid.pp pid)
+    | None -> invalid_arg (Format.asprintf "Deployment.%s: unknown %a" who Pid.pp pid)
     | Some node ->
       (* Close the telemetry span of any operation the departure cuts
          short, so traces never carry an orphan [Op_start]. *)
@@ -179,10 +185,16 @@ module Make (P : Register_intf.PROTOCOL) = struct
       | None -> ());
       P.leave node;
       abort_pending t pid;
-      Membership.remove t.membership pid ~now:(now t);
+      Membership.remove t.membership ~crashed pid ~now:(now t);
       Pid.Table.remove t.nodes pid;
       if t.writer = Some pid then t.writer <- None;
-      Trace.recordf t.trace ~time:(now t) ~topic:"leave" "%a leaves" Pid.pp pid
+      Trace.recordf t.trace ~time:(now t)
+        ~topic:(if crashed then "crash" else "leave")
+        "%a %s" Pid.pp pid
+        (if crashed then "crash-stops" else "leaves")
+
+  let retire t pid = depart t ~crashed:false ~who:"retire" pid
+  let crash t pid = depart t ~crashed:true ~who:"crash" pid
 
   let create cfg params =
     let root = Rng.create ~seed:cfg.seed in

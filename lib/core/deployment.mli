@@ -107,6 +107,17 @@ module type S = sig
   (** Manually makes a process leave; pending operations are aborted.
       @raise Invalid_argument if the pid is not present. *)
 
+  val crash : t -> Pid.t -> unit
+  (** Crash-stops a process: same departure as {!retire} — the model
+      equates a crash with an unannounced leave (Section 2.1), and the
+      leave protocol is silent in all three register implementations —
+      but the membership record is flagged [crashed], the emitted event
+      is [Node_crash] rather than [Node_leave], and the churn counter
+      is [churn.crash], so traces and audits can attribute violations
+      to injected crashes. The fault layer ([Dds_fault]) calls this;
+      tests use it directly.
+      @raise Invalid_argument if the pid is not present. *)
+
   val start_churn : t -> until:Time.t -> unit
 
   val stop_churn : t -> unit

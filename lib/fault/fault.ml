@@ -1,0 +1,66 @@
+open Dds_sim
+open Dds_net
+
+type action = Drop | Dup of { copies : int } | Delay of { extra : int } | Corrupt
+
+type rule = {
+  name : string;
+  srcs : int list;
+  dsts : int list;
+  kinds : string list;
+  from_ : int;
+  until_ : int;
+  p : float;
+  max_faults : int;
+  action : action;
+}
+
+let action_name = function
+  | Drop -> "drop"
+  | Dup _ -> "dup"
+  | Delay _ -> "delay"
+  | Corrupt -> "corrupt"
+
+let rule ?(name = "") ?(srcs = []) ?(dsts = []) ?(kinds = []) ?(from_ = 0) ?(until_ = max_int)
+    ?(p = 1.0) ?(max_faults = max_int) action =
+  let name = if String.equal name "" then action_name action else name in
+  { name; srcs; dsts; kinds; from_; until_; p; max_faults; action }
+
+let partition ?(name = "partition") ~a ~b ?(symmetric = true) ~from_ ~until_ () =
+  let dir ~srcs ~dsts = { (rule ~srcs ~dsts ~from_ ~until_ Drop) with name } in
+  if symmetric then [ dir ~srcs:a ~dsts:b; dir ~srcs:b ~dsts:a ] else [ dir ~srcs:a ~dsts:b ]
+
+let matches r (decision : Delay.decision) ~msg_kind =
+  let now = Time.to_int decision.Delay.now in
+  now >= r.from_ && now <= r.until_
+  && (r.kinds = [] || List.mem msg_kind r.kinds)
+  && (r.srcs = [] || List.mem (Pid.to_int decision.Delay.src) r.srcs)
+  && (r.dsts = [] || List.mem (Pid.to_int decision.Delay.dst) r.dsts)
+
+let to_network_action = function
+  | Drop -> Network.Drop_msg
+  | Dup { copies } -> Network.Duplicate { copies }
+  | Delay { extra } -> Network.Delay_by { extra }
+  | Corrupt -> Network.Corrupt_tag
+
+let compile ~rng rules =
+  let rules = Array.of_list rules in
+  let spent = Array.make (Array.length rules) 0 in
+  fun decision ~msg_kind ->
+    let rec first i =
+      if i >= Array.length rules then Network.Pass
+      else
+        let r = rules.(i) in
+        if
+          matches r decision ~msg_kind
+          && spent.(i) < r.max_faults
+          (* Probability last, so rules with [p = 1.0] never draw and
+             deterministic plans stay draw-free. *)
+          && (r.p >= 1.0 || Rng.float rng 1.0 < r.p)
+        then begin
+          spent.(i) <- spent.(i) + 1;
+          to_network_action r.action
+        end
+        else first (i + 1)
+    in
+    first 0

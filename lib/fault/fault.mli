@@ -1,0 +1,88 @@
+open Dds_sim
+open Dds_net
+
+(** Message-fault rules.
+
+    A {!rule} is one thing the nemesis may do to messages: an
+    {!action} (lose, duplicate, delay, corrupt the sender tag), a
+    {e selector} saying which transmissions are eligible (by source,
+    destination, wire kind and time window), and a {e budget} (apply
+    probability and a hard cap on applications). A list of rules
+    {!compile}s down to the {!Network.fault_plan} hook — first
+    matching rule with remaining budget wins — so the fault layer
+    never forks the network implementation.
+
+    Every application is recorded by the network as a
+    [Fault_injected] event and a [net.injected] metric tick; see
+    {!Network.fault_action}. *)
+
+(** What an applied rule does to the selected transmission. The four
+    constructors mirror {!Network.fault_action} minus [Pass]. *)
+type action =
+  | Drop  (** lose it (within-model only if the protocol re-sends) *)
+  | Dup of { copies : int }
+      (** deliver [1 + copies] times; within-model for the register
+          protocols (quorums dedup by pid, waits are time-based) *)
+  | Delay of { extra : int }
+      (** stretch the sampled delay by [extra] ticks — breaks the
+          synchrony assumption when the total exceeds the delta the
+          protocol believes *)
+  | Corrupt  (** forge the sender tag (receiver sees itself as source) *)
+
+type rule = {
+  name : string;  (** label for traces and codecs; defaults to the action name *)
+  srcs : int list;  (** eligible senders; [[]] = any *)
+  dsts : int list;  (** eligible destinations; [[]] = any *)
+  kinds : string list;  (** eligible wire kinds (e.g. ["INQUIRY"]); [[]] = any *)
+  from_ : int;  (** window start (inclusive, send time) *)
+  until_ : int;  (** window end (inclusive); [max_int] = open *)
+  p : float;  (** apply probability for an eligible transmission *)
+  max_faults : int;  (** hard cap on applications; [max_int] = unlimited *)
+  action : action;
+}
+
+val action_name : action -> string
+(** ["drop"], ["dup"], ["delay"], ["corrupt"]. *)
+
+val rule :
+  ?name:string ->
+  ?srcs:int list ->
+  ?dsts:int list ->
+  ?kinds:string list ->
+  ?from_:int ->
+  ?until_:int ->
+  ?p:float ->
+  ?max_faults:int ->
+  action ->
+  rule
+(** A rule with everything defaulted to "always, everywhere":
+    empty selectors, window [[0, max_int]], [p = 1.0], unlimited
+    budget. *)
+
+val partition :
+  ?name:string ->
+  a:int list ->
+  b:int list ->
+  ?symmetric:bool ->
+  from_:int ->
+  until_:int ->
+  unit ->
+  rule list
+(** A named network partition between process groups [a] and [b] over
+    the given window, expressed as unbudgeted drop rules: one per
+    direction when [symmetric] (the default), only [a] -> [b]
+    otherwise (an asymmetric partition — [b] still reaches [a]). The
+    heal is the window's end. *)
+
+val matches : rule -> Delay.decision -> msg_kind:string -> bool
+(** Selector check only (window, endpoints, kind) — budget and
+    probability are the compiled plan's business. *)
+
+val compile : rng:Rng.t -> rule list -> Network.fault_plan
+(** Compiles rules into the network's interposition hook. For each
+    transmission the first rule in list order that matches, has budget
+    left and passes its probability draw supplies the action; no match
+    means [Pass]. Budget counters are private to the returned plan
+    (compiling twice gives two fresh budgets). [rng] drives the
+    probability draws and must be a dedicated stream, so fault
+    randomness never perturbs delay or churn draws. *)

@@ -1,0 +1,92 @@
+open Dds_sim
+open Dds_spec
+open Dds_core
+
+type spec = {
+  horizon : int;
+  drain : int;
+  read_rate : float;
+  write_every : int;
+  monitor : Dds_monitor.Monitor.config option;
+}
+
+let default_spec ?monitor ~horizon ~drain () =
+  { horizon; drain; read_rate = 1.0; write_every = 20; monitor }
+
+module Make (D : Deployment.S) = struct
+  module I = Injector.Make (D)
+
+  (* The same single-writer read-mostly workload Generator drives, kept
+     local so dds_fault stays below dds_workload in the library graph
+     (the workload layer's sweeps depend on this module). *)
+  let tick d ~read_rate ~write_every () =
+    let rng = D.workload_rng d in
+    let now = Time.to_int (D.now d) in
+    (if write_every > 0 && now mod write_every = 0 then
+       match D.elect_writer d with
+       | Some w -> (
+         match D.node d w with
+         | Some node when D.Protocol.is_active node && not (D.Protocol.busy node) -> D.write d w
+         | Some _ | None -> ())
+       | None -> ());
+    let base = int_of_float read_rate in
+    let frac = read_rate -. float_of_int base in
+    let n_reads = base + if Rng.float rng 1.0 < frac then 1 else 0 in
+    for _ = 1 to n_reads do
+      match D.random_idle_active d with Some pid -> D.read d pid | None -> ()
+    done
+
+  let run (cfg : Deployment.config) params spec plan =
+    let cfg =
+      { cfg with Deployment.events_enabled = cfg.Deployment.events_enabled || spec.monitor <> None }
+    in
+    let d = D.create cfg params in
+    let inj = I.install ~rng:(Rng.split (D.workload_rng d)) d plan in
+    let mon =
+      match spec.monitor with
+      | None -> None
+      | Some mcfg ->
+        let m = Dds_monitor.Monitor.create mcfg in
+        let sink = D.events d in
+        (* Catch up on the founding joins already buffered, then stream;
+           findings are emitted back into the sink so exported traces
+           carry them (Monitor.feed ignores Violation events). *)
+        List.iter (fun st -> ignore (Dds_monitor.Monitor.feed m st)) (Event.events sink);
+        Event.on_emit sink (fun st ->
+            List.iter
+              (fun (v : Dds_monitor.Monitor.violation) ->
+                Event.emit sink ~at:v.Dds_monitor.Monitor.at (Dds_monitor.Monitor.to_event v))
+              (Dds_monitor.Monitor.feed m st));
+        Some m
+    in
+    D.start_churn d ~until:(Time.of_int spec.horizon);
+    let sched = D.scheduler d in
+    for tau = 1 to spec.horizon do
+      ignore
+        (Scheduler.schedule_at sched (Time.of_int tau)
+           (tick d ~read_rate:spec.read_rate ~write_every:spec.write_every))
+    done;
+    D.run_until d (Time.of_int (spec.horizon + spec.drain));
+    let monitor_violations =
+      match mon with
+      | None -> []
+      | Some m ->
+        let sink = D.events d in
+        List.iter
+          (fun (v : Dds_monitor.Monitor.violation) ->
+            Event.emit sink ~at:v.Dds_monitor.Monitor.at (Dds_monitor.Monitor.to_event v))
+          (Dds_monitor.Monitor.finalize m ~at:(D.now d));
+        Event.clear_observer sink;
+        List.map
+          (Format.asprintf "%a" Dds_monitor.Monitor.pp_violation)
+          (Dds_monitor.Monitor.violations m)
+    in
+    let reg = D.regularity d in
+    let reg_violations =
+      List.map (Format.asprintf "regularity: %a" Regularity.pp_violation) reg.Regularity.violations
+    in
+    {
+      Hunt.violations = monitor_violations @ reg_violations;
+      injected = I.total_injected inj;
+    }
+end

@@ -1,0 +1,33 @@
+open Dds_core
+
+(** One judged run under a nemesis plan.
+
+    [Make (D)] packages the full experiment the hunter repeats: build
+    the deployment from a config (one seed), arm the plan
+    ({!Injector}), drive a generator-style read/write workload plus
+    background churn, stream the live monitors over the typed events,
+    then judge the run — monitor findings plus the regularity
+    checker's verdict — as a {!Hunt.outcome}. Deterministic in
+    [config.seed], which is exactly what {!Hunt.search} and
+    {!Hunt.shrink} need from their runner. *)
+
+type spec = {
+  horizon : int;  (** workload and churn stop here *)
+  drain : int;  (** extra ticks to let in-flight operations finish *)
+  read_rate : float;  (** expected reads per tick *)
+  write_every : int;  (** one write per this many ticks; [0] = never *)
+  monitor : Dds_monitor.Monitor.config option;
+      (** live assumption/safety monitors; their findings are both
+          recorded as [Violation] events and counted in the outcome *)
+}
+
+val default_spec : ?monitor:Dds_monitor.Monitor.config -> horizon:int -> drain:int -> unit -> spec
+(** [read_rate = 1.0], [write_every = 20]. *)
+
+module Make (D : Deployment.S) : sig
+  val run : Deployment.config -> D.Protocol.params -> spec -> Nemesis.plan -> Hunt.outcome
+  (** Runs one full deployment and judges it. Typed events are forced
+      on when a monitor is requested. The outcome's [violations]
+      collects monitor findings then regularity violations, each
+      pretty-printed; [injected] is {!Injector.Make.total_injected}. *)
+end

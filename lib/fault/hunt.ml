@@ -1,0 +1,83 @@
+type outcome = { violations : string list; injected : int }
+
+type runner = seed:int -> Nemesis.plan -> outcome
+
+type found = { seed : int; plan : Nemesis.plan; violations : string list; runs : int }
+
+let search ~runner ~gen seeds =
+  let runs = ref 0 in
+  List.find_map
+    (fun seed ->
+      let plan = gen ~seed in
+      incr runs;
+      let o : outcome = runner ~seed plan in
+      if o.violations = [] then None
+      else Some { seed; plan; violations = o.violations; runs = !runs })
+    seeds
+
+let half x = Stdlib.max 1 (x / 2)
+
+let halve_window ~from_ ~until_ =
+  if until_ = max_int || until_ <= from_ then None
+  else Some (from_ + ((until_ - from_) / 2))
+
+let weaken step =
+  match step with
+  | Nemesis.Msg r ->
+    let with_action action = Nemesis.Msg { r with Fault.action } in
+    (match r.Fault.action with
+    | Fault.Dup { copies } when copies > 1 -> [ with_action (Fault.Dup { copies = half copies }) ]
+    | Fault.Delay { extra } when extra > 1 -> [ with_action (Fault.Delay { extra = half extra }) ]
+    | Fault.Drop | Fault.Dup _ | Fault.Delay _ | Fault.Corrupt -> [])
+    @ (if r.Fault.max_faults <> max_int && r.Fault.max_faults > 1 then
+         [ Nemesis.Msg { r with Fault.max_faults = half r.Fault.max_faults } ]
+       else [])
+    @ (if r.Fault.p < 1.0 && r.Fault.p > 0.01 then
+         [ Nemesis.Msg { r with Fault.p = r.Fault.p /. 2.0 } ]
+       else [])
+    @ (match halve_window ~from_:r.Fault.from_ ~until_:r.Fault.until_ with
+      | Some until_ -> [ Nemesis.Msg { r with Fault.until_ } ]
+      | None -> [])
+  | Nemesis.Partition ({ from_; until_; _ } as p) -> (
+    match halve_window ~from_ ~until_ with
+    | Some until_ -> [ Nemesis.Partition { p with until_ } ]
+    | None -> [])
+  | Nemesis.Crash ({ k; _ } as c) when k > 1 -> [ Nemesis.Crash { c with k = half k } ]
+  | Nemesis.Crash _ -> []
+  | Nemesis.Storm ({ k; _ } as s) when k > 1 -> [ Nemesis.Storm { s with k = half k } ]
+  | Nemesis.Storm _ -> []
+
+let shrink ~runner found =
+  let attempts = ref 0 in
+  let fails plan =
+    incr attempts;
+    let o : outcome = runner ~seed:found.seed plan in
+    if o.violations = [] then None else Some o.violations
+  in
+  (* Greedy descent: adopt the first single-change candidate that
+     still violates and restart; stop when no removal or weakening
+     keeps the violation alive. Candidate order tries removals first,
+     so whole steps disappear before budgets get tuned. *)
+  let rec improve plan violations =
+    let n = List.length plan in
+    let removals = List.init n (fun i -> List.filteri (fun j _ -> j <> i) plan) in
+    let weakenings =
+      List.concat
+        (List.mapi
+           (fun i s ->
+             List.map
+               (fun s' -> List.mapi (fun j x -> if j = i then s' else x) plan)
+               (weaken s))
+           plan)
+    in
+    let rec try_candidates = function
+      | [] -> (plan, violations)
+      | cand :: tl -> (
+        match fails cand with
+        | Some v -> improve cand v
+        | None -> try_candidates tl)
+    in
+    try_candidates (removals @ weakenings)
+  in
+  let plan, violations = improve found.plan found.violations in
+  { found with plan; violations; runs = !attempts }

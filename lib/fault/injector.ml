@@ -1,0 +1,91 @@
+open Dds_sim
+open Dds_net
+open Dds_churn
+open Dds_core
+
+module Make (D : Deployment.S) = struct
+  type t = { d : D.t; rng : Rng.t; mutable process_faults : int }
+
+  let emit_fault t ~fault ~src ~dst ~kind =
+    Event.emit (D.events t.d) ~at:(D.now t.d) (Event.Fault_injected { fault; src; dst; kind })
+
+  (* Crash [k] victims picked uniformly among the currently active
+     processes (fewer if the system is smaller than that). The fault
+     event goes out before the departure, so a trace reads
+     cause-then-effect: [fault[crash] p3] then [crash p3]. *)
+  let crash_some t ~fault k =
+    let rec go crashed k =
+      if k = 0 then crashed
+      else
+        match Membership.active (D.membership t.d) with
+        | [] -> crashed
+        | pool ->
+          let victim = Rng.pick_list t.rng pool in
+          t.process_faults <- t.process_faults + 1;
+          Metrics.incr (D.metrics t.d) ("fault." ^ fault);
+          emit_fault t ~fault ~src:(Pid.to_int victim) ~dst:(-1) ~kind:"";
+          D.crash t.d victim;
+          go (crashed + 1) (k - 1)
+    in
+    go 0 k
+
+  let install ~rng d plan =
+    let t = { d; rng; process_faults = 0 } in
+    let sched = D.scheduler d in
+    let schedule_at at f = ignore (Scheduler.schedule_at sched (Time.of_int at) f) in
+    (* All message-level steps fold into one compiled plan, in plan
+       order (earlier steps win ties). The compile rng is split off so
+       probability draws stay independent of victim picks. *)
+    let rules =
+      List.concat_map
+        (function
+          | Nemesis.Msg r -> [ r ]
+          | Nemesis.Partition { name; a; b; symmetric; from_; until_ } ->
+            Fault.partition ~name ~a ~b ~symmetric ~from_ ~until_ ()
+          | Nemesis.Crash _ | Nemesis.Storm _ -> [])
+        plan
+    in
+    if rules <> [] then
+      Network.set_fault_plan (D.network d) (Fault.compile ~rng:(Rng.split rng) rules);
+    List.iter
+      (function
+        | Nemesis.Msg _ -> ()
+        | Nemesis.Partition { name; from_; until_; _ } ->
+          schedule_at from_ (fun () ->
+              Metrics.incr (D.metrics d) "fault.partition";
+              emit_fault t ~fault:"partition-start" ~src:(-1) ~dst:(-1) ~kind:name);
+          if until_ < max_int then
+            schedule_at (until_ + 1) (fun () ->
+                emit_fault t ~fault:"partition-heal" ~src:(-1) ~dst:(-1) ~kind:name)
+        | Nemesis.Crash { at; k; recover } ->
+          schedule_at at (fun () ->
+              let crashed = crash_some t ~fault:"crash" k in
+              match recover with
+              | Some after when crashed > 0 ->
+                ignore
+                  (Scheduler.schedule_after sched after (fun () ->
+                       (* Crash-recovery with state loss: pids are never
+                          reused, so recovery is fresh identities
+                          re-joining from scratch. *)
+                       emit_fault t ~fault:"recover" ~src:(-1) ~dst:(-1)
+                         ~kind:(Printf.sprintf "k=%d" crashed);
+                       for _ = 1 to crashed do
+                         ignore (D.spawn d)
+                       done))
+              | Some _ | None -> ())
+        | Nemesis.Storm { at; k } ->
+          schedule_at at (fun () ->
+              (* A churn burst: population is preserved, but the
+                 instantaneous rate spikes by 2k events at one tick. *)
+              emit_fault t ~fault:"storm" ~src:(-1) ~dst:(-1) ~kind:(Printf.sprintf "k=%d" k);
+              Metrics.incr (D.metrics d) "fault.storm";
+              let crashed = crash_some t ~fault:"storm" k in
+              for _ = 1 to crashed do
+                ignore (D.spawn d)
+              done))
+      plan;
+    t
+
+  let process_faults t = t.process_faults
+  let total_injected t = t.process_faults + Network.faults_injected (D.network t.d)
+end

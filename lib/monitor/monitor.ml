@@ -238,7 +238,9 @@ let feed t ({ at; ev } : Event.stamped) =
       (* A join at t=0 is a founding member: active immediately. *)
       if Time.to_int at = 0 then Hashtbl.replace t.active node ();
       membership_change t ~at ~join:true
-    | Event.Node_leave { node } ->
+    | Event.Node_leave { node } | Event.Node_crash { node } ->
+      (* A crash-stop is an unannounced leave: the model equates the
+         two, so the assumption monitors count both as departures. *)
       Hashtbl.remove t.active node;
       membership_change t ~at ~join:false @ majority_check t ~at
     | Event.Op_start { span; node; op; _ } ->
@@ -265,7 +267,7 @@ let feed t ({ at; ev } : Event.stamped) =
       t.gst <- Some at;
       []
     | Event.Send _ | Event.Deliver _ | Event.Drop _ | Event.Op_phase _
-    | Event.Quorum_progress _ | Event.Violation _ ->
+    | Event.Quorum_progress _ | Event.Violation _ | Event.Fault_injected _ ->
       []
   in
   timed @ direct

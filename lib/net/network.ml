@@ -4,6 +4,22 @@ type 'a handler = src:Pid.t -> 'a -> unit
 
 type broadcast_mode = Primitive | Flooding of { relay_depth : int }
 
+type fault_action =
+  | Pass
+  | Drop_msg
+  | Duplicate of { copies : int }
+  | Delay_by of { extra : int }
+  | Corrupt_tag
+
+type fault_plan = Delay.decision -> msg_kind:string -> fault_action
+
+let fault_action_name = function
+  | Pass -> "pass"
+  | Drop_msg -> "drop"
+  | Duplicate _ -> "dup"
+  | Delay_by _ -> "delay"
+  | Corrupt_tag -> "corrupt"
+
 type 'a t = {
   sched : Scheduler.t;
   rng : Rng.t;
@@ -15,7 +31,8 @@ type 'a t = {
   msg_kind : ('a -> string) option;
   mode : broadcast_mode;
   handlers : 'a handler Pid.Table.t;
-  mutable fault : (Delay.decision -> bool) option;
+  mutable fault : fault_plan option;
+  mutable injected : int;
   mutable flying : int;
   mutable broadcast_counter : int;
   flood_seen : (int * int * int, unit) Hashtbl.t;
@@ -26,7 +43,7 @@ type 'a t = {
 }
 
 let create ~sched ~rng ~delay ?metrics ?trace ?events ?pp_msg ?msg_kind
-    ?(broadcast_mode = Primitive) () =
+    ?(broadcast_mode = Primitive) ?fault () =
   (match broadcast_mode with
   | Flooding { relay_depth } when relay_depth < 1 ->
     invalid_arg "Network.create: flooding relay depth must be >= 1"
@@ -42,7 +59,8 @@ let create ~sched ~rng ~delay ?metrics ?trace ?events ?pp_msg ?msg_kind
     msg_kind;
     mode = broadcast_mode;
     handlers = Pid.Table.create 64;
-    fault = None;
+    fault;
+    injected = 0;
     flying = 0;
     broadcast_counter = 0;
     flood_seen = Hashtbl.create 256;
@@ -95,44 +113,48 @@ let detach t pid = Pid.Table.remove t.handlers pid
 let is_attached t pid = Pid.Table.mem t.handlers pid
 let attached t = Pid.Table.fold (fun pid _ acc -> pid :: acc) t.handlers []
 let attached_sorted t = List.sort Pid.compare (attached t)
-let set_fault t pred = t.fault <- Some pred
+let set_fault_plan t plan = t.fault <- Some plan
+
+let set_fault t pred =
+  t.fault <- Some (fun decision ~msg_kind:_ -> if pred decision then Drop_msg else Pass)
+
 let clear_fault t = t.fault <- None
+let faults_injected t = t.injected
 let in_flight t = t.flying
 let metrics t = t.metrics
 let events t = t.events
 
-(* Schedules one point-to-point transmission; checks the fault
-   predicate at send time and attachment at delivery time. [on_arrival]
+(* Schedules one point-to-point transmission; consults the fault plan
+   at send time and checks attachment at delivery time. [on_arrival]
    runs instead of the plain handler call when provided (flooding uses
    it to dedup and relay). *)
 let transmit t ~kind ~src ~dst ?on_arrival msg =
   let decision = { Delay.now = Scheduler.now t.sched; src; dst; kind } in
   (* One Send event (and one net.transmit tick) per point-to-point
      copy, so [count Send events = net.transmit] holds for any trace;
-     each Send is later resolved by exactly one Deliver or Drop. *)
-  bump t "net.transmit";
-  let sent_lc = if events_live t then tick_send t src else 0 in
-  emitf t (fun () ->
-      Event.Send
-        {
-          src = Pid.to_int src;
-          dst = Pid.to_int dst;
-          kind = kind_of t msg;
-          broadcast = (match kind with Delay.Broadcast -> true | Delay.Point_to_point -> false);
-          lamport = sent_lc;
-        });
-  let faulted = match t.fault with Some pred -> pred decision | None -> false in
-  if faulted then begin
-    bump t "net.faulted";
+     each Send is later resolved by exactly one Deliver or Drop. An
+     injected duplicate is one more copy, with its own Send. *)
+  let announce () =
+    bump t "net.transmit";
+    let sent_lc = if events_live t then tick_send t src else 0 in
     emitf t (fun () ->
-        Event.Drop
-          { src = Pid.to_int src; dst = Pid.to_int dst; kind = kind_of t msg; reason = Faulted });
-    tracef t (fun tr ->
-        Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net" "fault-drop %a->%a: %a"
-          Pid.pp src Pid.pp dst (pp_payload t) msg)
-  end
-  else begin
-    let d = Delay.sample t.delay ~rng:t.rng decision in
+        Event.Send
+          {
+            src = Pid.to_int src;
+            dst = Pid.to_int dst;
+            kind = kind_of t msg;
+            broadcast = (match kind with Delay.Broadcast -> true | Delay.Point_to_point -> false);
+            lamport = sent_lc;
+          });
+    sent_lc
+  in
+  (* [as_src] is the sender identity the protocol handler observes —
+     forged by an injected Corrupt_tag; the Send/Deliver telemetry
+     keeps the true wire endpoints so causal pairing stays intact.
+     [extra] stretches the sampled delay (injected Delay_by). *)
+  let copy ~as_src ~extra =
+    let sent_lc = announce () in
+    let d = Delay.sample t.delay ~rng:t.rng decision + extra in
     t.flying <- t.flying + 1;
     ignore
       (Scheduler.schedule_after t.sched d (fun () ->
@@ -155,7 +177,7 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
                    "deliver %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg);
              (match on_arrival with
              | Some f -> f handler
-             | None -> handler ~src msg)
+             | None -> handler ~src:as_src msg)
            | None ->
              (* Destination left the system before delivery. *)
              bump t "net.dropped";
@@ -170,7 +192,48 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
              tracef t (fun tr ->
                  Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net"
                    "drop(left) %a->%a: %a" Pid.pp src Pid.pp dst (pp_payload t) msg)))
-  end
+  in
+  let action =
+    match t.fault with
+    | Some plan -> plan decision ~msg_kind:(kind_of t msg)
+    | None -> Pass
+  in
+  (match action with
+  | Pass -> ()
+  | faulted ->
+    t.injected <- t.injected + 1;
+    bump t "net.injected";
+    emitf t (fun () ->
+        Event.Fault_injected
+          {
+            fault = fault_action_name faulted;
+            src = Pid.to_int src;
+            dst = Pid.to_int dst;
+            kind = kind_of t msg;
+          });
+    tracef t (fun tr ->
+        Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"fault" "inject %s %a->%a: %a"
+          (fault_action_name faulted) Pid.pp src Pid.pp dst (pp_payload t) msg));
+  match action with
+  | Pass -> copy ~as_src:src ~extra:0
+  | Drop_msg ->
+    let _lc = announce () in
+    bump t "net.faulted";
+    emitf t (fun () ->
+        Event.Drop
+          { src = Pid.to_int src; dst = Pid.to_int dst; kind = kind_of t msg; reason = Faulted });
+    tracef t (fun tr ->
+        Trace.recordf tr ~time:(Scheduler.now t.sched) ~topic:"net" "fault-drop %a->%a: %a"
+          Pid.pp src Pid.pp dst (pp_payload t) msg)
+  | Delay_by { extra } -> copy ~as_src:src ~extra:(Stdlib.max 0 extra)
+  | Corrupt_tag ->
+    (* The sender tag is scrambled: the receiver observes itself as the
+       source, so replies routed by sender identity are misdirected. *)
+    copy ~as_src:dst ~extra:0
+  | Duplicate { copies } ->
+    for _ = 0 to Stdlib.max 0 copies do
+      copy ~as_src:src ~extra:0
+    done
 
 let send t ~src ~dst msg =
   if Pid.Table.mem t.handlers dst then begin

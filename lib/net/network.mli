@@ -52,6 +52,31 @@ type broadcast_mode =
   | Primitive
   | Flooding of { relay_depth : int }
 
+(** What the fault plan may do to one point-to-point transmission,
+    decided at send time. Everything except [Pass] steps outside the
+    paper's reliable-network assumption and is recorded as a
+    [Fault_injected] event plus a [net.injected] metric tick, so every
+    deviation is attributable in the exported trace. *)
+type fault_action =
+  | Pass  (** deliver normally — the default plan everywhere *)
+  | Drop_msg  (** lose the message ([Drop] with reason [Faulted]) *)
+  | Duplicate of { copies : int }
+      (** deliver, plus [copies] extra copies, each with its own
+          sampled delay (and so its own ordering) and its own [Send]
+          event *)
+  | Delay_by of { extra : int }
+      (** stretch the sampled delay by [extra] ticks — the instrument
+          for violating the synchrony bound [delta] *)
+  | Corrupt_tag
+      (** deliver with a forged sender identity (the receiver observes
+          itself as the source); wire-level telemetry keeps the true
+          endpoints *)
+
+type fault_plan = Delay.decision -> msg_kind:string -> fault_action
+(** Consulted once per point-to-point transmission (a broadcast asks
+    once per destination). [msg_kind] is the payload's wire kind (e.g.
+    ["INQUIRY"]), letting plans target protocol phases. *)
+
 val create :
   sched:Scheduler.t ->
   rng:Rng.t ->
@@ -62,18 +87,27 @@ val create :
   ?pp_msg:(Format.formatter -> 'a -> unit) ->
   ?msg_kind:('a -> string) ->
   ?broadcast_mode:broadcast_mode ->
+  ?fault:fault_plan ->
   unit ->
   'a t
 (** A network with no attached processes. [metrics] (counters
     [net.sent], [net.broadcast], [net.transmit], [net.delivered],
-    [net.dropped], [net.faulted], [net.relayed], [net.duplicate]) and
-    [trace] are optional observability sinks; [events] receives typed
-    [Send]/[Deliver]/[Drop] telemetry, one [Send] per point-to-point
-    copy (a broadcast fans out into one per present destination), so a
+    [net.dropped], [net.faulted], [net.injected], [net.relayed],
+    [net.duplicate]) and [trace] are optional observability sinks;
+    [events] receives typed [Send]/[Deliver]/[Drop] telemetry, one
+    [Send] per point-to-point copy (a broadcast fans out into one per
+    present destination, an injected duplicate adds one more), so a
     trace's [Send] count always equals the [net.transmit] counter.
     [pp_msg] renders payloads in string traces; [msg_kind] names each
     payload's wire kind (e.g. ["INQUIRY"]) in typed events.
     [broadcast_mode] defaults to [Primitive].
+
+    The reliability guarantee in the header is the behavior of the
+    {e default} fault plan (none installed, i.e. [Pass] for every
+    message). Passing [fault] — or installing a plan later with
+    {!set_fault_plan} — interposes a nemesis on every transmission;
+    see {!fault_action} for what it may do and [Dds_fault] for the
+    plan combinators built on top of this hook.
     @raise Invalid_argument if a [Flooding] relay depth is [< 1]. *)
 
 val attach : 'a t -> Pid.t -> 'a handler -> unit
@@ -99,13 +133,22 @@ val send : 'a t -> src:Pid.t -> dst:Pid.t -> 'a -> unit
 val broadcast : 'a t -> src:Pid.t -> 'a -> unit
 (** Timely broadcast to every attached process, including the sender. *)
 
+val set_fault_plan : 'a t -> fault_plan -> unit
+(** Installs (or replaces) the fault plan consulted on every
+    subsequent transmission. *)
+
 val set_fault : 'a t -> (Delay.decision -> bool) -> unit
-(** Installs a fault predicate: messages for which it returns [true]
-    are silently lost. This steps {e outside} the paper's reliable
-    network; it exists for failure-injection tests and is off by
-    default. *)
+(** Predicate sugar over {!set_fault_plan}: messages for which the
+    predicate returns [true] get {!Drop_msg}, everything else
+    [Pass]. *)
 
 val clear_fault : 'a t -> unit
+(** Restores the default (reliable) plan. *)
+
+val faults_injected : 'a t -> int
+(** Number of transmissions on which the plan returned something other
+    than [Pass] so far — the cheap budget check nemesis schedules use
+    without consulting metrics. *)
 
 val in_flight : 'a t -> int
 (** Messages sent or broadcast but not yet delivered/dropped. *)

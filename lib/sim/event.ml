@@ -9,6 +9,7 @@ type payload = { data : int; sn : int }
 type t =
   | Node_join of { node : int }
   | Node_leave of { node : int }
+  | Node_crash of { node : int }
   | Send of { src : int; dst : int; kind : string; broadcast : bool; lamport : int }
   | Deliver of { src : int; dst : int; kind : string; lamport : int; sent : int }
   | Drop of { src : int; dst : int; kind : string; reason : drop_reason }
@@ -18,6 +19,7 @@ type t =
   | Quorum_progress of { span : int; node : int; have : int; need : int }
   | Gst_reached
   | Violation of { monitor : string; detail : string }
+  | Fault_injected of { fault : string; src : int; dst : int; kind : string }
 
 type stamped = { at : Time.t; ev : t }
 
@@ -52,6 +54,7 @@ let pp_value_opt ppf = function
 let pp ppf = function
   | Node_join { node } -> Format.fprintf ppf "join p%d" node
   | Node_leave { node } -> Format.fprintf ppf "leave p%d" node
+  | Node_crash { node } -> Format.fprintf ppf "crash p%d" node
   | Send { src; dst; kind; broadcast; lamport } ->
     Format.fprintf ppf "send%s p%d->p%d %s lc=%d" (if broadcast then "(bcast)" else "") src dst
       kind lamport
@@ -70,6 +73,9 @@ let pp ppf = function
     Format.fprintf ppf "quorum #%d p%d %d/%d" span node have need
   | Gst_reached -> Format.pp_print_string ppf "gst-reached"
   | Violation { monitor; detail } -> Format.fprintf ppf "violation[%s] %s" monitor detail
+  | Fault_injected { fault; src; dst; kind } ->
+    if src < 0 && dst < 0 then Format.fprintf ppf "fault[%s] %s" fault kind
+    else Format.fprintf ppf "fault[%s] p%d->p%d %s" fault src dst kind
 
 (* The buffer mirrors Stats: a doubling array, no per-event boxing
    beyond the stamped record itself. *)

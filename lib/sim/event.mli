@@ -39,6 +39,11 @@ type payload = { data : int; sn : int }
 type t =
   | Node_join of { node : int }  (** process enters (listening mode) *)
   | Node_leave of { node : int }  (** process leaves for good *)
+  | Node_crash of { node : int }
+      (** process crash-stops: gone for good like a leave, but injected
+          by the fault layer rather than the churn engine's graceful
+          departure path — kept distinct so audits can attribute a
+          violation to the crash that caused it *)
   | Send of { src : int; dst : int; kind : string; broadcast : bool; lamport : int }
       (** one point-to-point transmission (a broadcast emits one per
           destination present at broadcast time). [lamport] is the
@@ -68,6 +73,15 @@ type t =
       (** an online monitor ({!Dds_monitor.Monitor}) caught an
           assumption or safety violation during a live run; [monitor]
           names the checker, [detail] is its human-readable finding *)
+  | Fault_injected of { fault : string; src : int; dst : int; kind : string }
+      (** the fault-injection layer ({!Dds_fault}) acted: [fault] names
+          the action (["drop"], ["dup"], ["delay"], ["corrupt"],
+          ["crash"], ["storm"], ["partition-start"], ...), [src]/[dst]
+          the processes concerned ([-1] when not applicable — e.g. the
+          single victim of a crash travels in [src]), [kind] the wire
+          kind of the message hit ([""] for process faults). Every
+          injected fault appears in the trace, so [dds audit] can
+          attribute a violation to the fault that caused it. *)
 
 type stamped = { at : Time.t; ev : t }
 

@@ -15,6 +15,7 @@ let event_to_json { at; ev } =
   match ev with
   | Node_join { node } -> Json.Obj [ t; ("e", String "node_join"); ("node", Int node) ]
   | Node_leave { node } -> Json.Obj [ t; ("e", String "node_leave"); ("node", Int node) ]
+  | Node_crash { node } -> Json.Obj [ t; ("e", String "node_crash"); ("node", Int node) ]
   | Send { src; dst; kind; broadcast; lamport } ->
     Json.Obj
       [
@@ -64,6 +65,12 @@ let event_to_json { at; ev } =
   | Violation { monitor; detail } ->
     Json.Obj
       [ t; ("e", String "violation"); ("monitor", String monitor); ("detail", String detail) ]
+  | Fault_injected { fault; src; dst; kind } ->
+    Json.Obj
+      [
+        t; ("e", String "fault"); ("fault", String fault); ("src", Int src); ("dst", Int dst);
+        ("kind", String kind);
+      ]
 
 let event_of_json j =
   let ( let* ) r f = Result.bind r f in
@@ -98,6 +105,9 @@ let event_of_json j =
       | "node_leave" ->
         let* node = int "node" in
         Ok (Node_leave { node })
+      | "node_crash" ->
+        let* node = int "node" in
+        Ok (Node_crash { node })
       | "send" ->
         let* src = int "src" in
         let* dst = int "dst" in
@@ -153,6 +163,12 @@ let event_of_json j =
         let* monitor = str "monitor" in
         let* detail = str "detail" in
         Ok (Violation { monitor; detail })
+      | "fault" ->
+        let* fault = str "fault" in
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* kind = str "kind" in
+        Ok (Fault_injected { fault; src; dst; kind })
       | other -> Error (Printf.sprintf "unknown event tag %S" other)
     in
     Ok { at; ev }
@@ -294,12 +310,12 @@ let chrome_of_events evs =
   List.iter
     (fun { ev; _ } ->
       match ev with
-      | Node_join { node } | Node_leave { node } -> note_node node
+      | Node_join { node } | Node_leave { node } | Node_crash { node } -> note_node node
       | Op_start { node; _ } | Op_end { node; _ } -> note_node node
       | Send { src; dst; _ } | Deliver { src; dst; _ } | Drop { src; dst; _ } ->
         note_node src;
         note_node dst
-      | Op_phase _ | Quorum_progress _ | Gst_reached | Violation _ -> ())
+      | Op_phase _ | Quorum_progress _ | Gst_reached | Violation _ | Fault_injected _ -> ())
     evs;
   let metadata =
     Hashtbl.fold (fun n () acc -> n :: acc) nodes []
@@ -349,6 +365,14 @@ let chrome_of_events evs =
         match ev with
         | Node_join { node } -> Some (instant ~pid:node ~ts ~name:"enter" ~cat:"churn" ~scope:"p")
         | Node_leave { node } -> Some (instant ~pid:node ~ts ~name:"leave" ~cat:"churn" ~scope:"p")
+        | Node_crash { node } -> Some (instant ~pid:node ~ts ~name:"crash" ~cat:"churn" ~scope:"p")
+        | Fault_injected { fault; kind; src; _ } ->
+          Some
+            (instant
+               ~pid:(Stdlib.max src 0)
+               ~ts
+               ~name:(if kind = "" then fault else Printf.sprintf "%s %s" fault kind)
+               ~cat:"fault" ~scope:"p")
         | Drop { dst; kind; reason; _ } ->
           Some
             (instant ~pid:dst ~ts
@@ -438,6 +462,7 @@ let events_of_chrome json =
               match nm with
               | "enter" -> Ok [ { at = Time.of_int ts; ev = Node_join { node } } ]
               | "leave" -> Ok [ { at = Time.of_int ts; ev = Node_leave { node } } ]
+              | "crash" -> Ok [ { at = Time.of_int ts; ev = Node_crash { node } } ]
               | _ -> Ok [])
             | Some (Json.String "model"), _ ->
               let* ts = int "ts" item in

@@ -1077,3 +1077,86 @@ let session_models ~n ~delta ~mean ~horizon ~seed =
      session_row ~model:"pareto sessions (heavy tail)"
        ~distribution:(Session_churn.Pareto { alpha; xmin }));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* E24 *)
+
+type nemesis_row = {
+  nm_plan : string;
+  nm_profile : string;
+  nm_protocol : string;
+  nm_injected : int;
+  nm_findings : int;
+  nm_flagged : bool;
+}
+
+module Sync_fh = Dds_fault.Harness.Make (Sync_d)
+module Es_fh = Dds_fault.Harness.Make (Es_d)
+
+let nemesis_matrix ~n ~delta ~horizon ~seed =
+  (* The monitor each protocol's theorem calls for; inversions stay
+     off because sync/es only promise regularity. *)
+  let base = Dds_monitor.Monitor.default ~n ~delta in
+  let sync_mon =
+    {
+      base with
+      Dds_monitor.Monitor.churn_bound = Some (1.0 /. (3.0 *. float_of_int delta));
+      inversions = false;
+    }
+  in
+  let es_mon =
+    {
+      base with
+      Dds_monitor.Monitor.churn_bound =
+        Some (1.0 /. (3.0 *. float_of_int delta *. float_of_int n));
+      majority = true;
+      inversions = false;
+    }
+  in
+  let open Dds_fault in
+  let mid = horizon / 2 and third = horizon / 3 in
+  (* One write fires every 20 ticks (the harness default), so windows
+     anchored at multiples of 20 straddle a dissemination. *)
+  let plans =
+    [
+      ("within", [ Nemesis.dup ~copies:2 (Nemesis.during ~from_:1 ~until_:horizon) ]);
+      ("within", [ Nemesis.crash ~recover:(2 * delta) ~k:1 third ]);
+      ("within", [ Nemesis.storm ~k:1 mid ]);
+      ( "breaking",
+        [
+          Nemesis.partition
+            ~a:(List.init ((n / 2) + 1) Fun.id)
+            ~b:(List.init (n - (n / 2) - 1) (fun i -> (n / 2) + 1 + i))
+            ~symmetric:false
+            (Nemesis.during ~from_:(mid - 5) ~until_:(mid + 5));
+        ] );
+      ( "breaking",
+        [ Nemesis.delay ~extra:(4 * delta) (Nemesis.during ~from_:(third - 2) ~until_:(2 * third)) ] );
+      ("breaking", [ Nemesis.crash ~k:((n / 2) + 1) mid ]);
+    ]
+  in
+  let cfg =
+    Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:0.0
+  in
+  List.concat_map
+    (fun (profile, plan) ->
+      let row protocol (o : Hunt.outcome) =
+        {
+          nm_plan = Nemesis.to_string plan;
+          nm_profile = profile;
+          nm_protocol = protocol;
+          nm_injected = o.Hunt.injected;
+          nm_findings = List.length o.Hunt.violations;
+          nm_flagged = o.Hunt.violations <> [];
+        }
+      in
+      let sync_row =
+        let spec = Harness.default_spec ~monitor:sync_mon ~horizon ~drain:(20 * delta) () in
+        row "sync" (Sync_fh.run cfg (Sync_register.default_params ~delta) spec plan)
+      in
+      let es_row =
+        let spec = Harness.default_spec ~monitor:es_mon ~horizon ~drain:(20 * delta) () in
+        row "es" (Es_fh.run cfg (Es_register.default_params ~n) spec plan)
+      in
+      [ sync_row; es_row ])
+    plans

@@ -345,3 +345,23 @@ val session_models :
     refresh, and three session-lifetime models after Ko et al. [19] —
     fixed (fully synchronized departures), geometric (memoryless) and
     Pareto (heavy-tailed, as measured in deployed P2P systems). *)
+
+(** {1 E24 — nemesis fault matrix: within-model vs assumption-breaking} *)
+
+type nemesis_row = {
+  nm_plan : string;  (** the plan in [Nemesis.to_string] syntax *)
+  nm_profile : string;  (** ["within"] or ["breaking"] *)
+  nm_protocol : string;
+  nm_injected : int;  (** faults actually applied *)
+  nm_findings : int;  (** monitor findings + regularity violations *)
+  nm_flagged : bool;
+}
+
+val nemesis_matrix : n:int -> delta:int -> horizon:int -> seed:int -> nemesis_row list
+(** Six fixed nemesis plans (duplicates, minority crash-with-recovery,
+    single-process storm; one-way majority partition, over-delta
+    delay, majority crash) against the sync and es registers, each run
+    judged by the protocol's theorem-matched monitors plus the
+    regularity checker. Within-model rows must come back unflagged;
+    breaking rows demonstrate which assumption each protocol leans
+    on. *)

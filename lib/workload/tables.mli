@@ -45,3 +45,5 @@ val read_repair : n:int -> Sweep.repair_row list -> Report.t
 val delta_calibration : n:int -> actual:int -> Sweep.calibration_row list -> Report.t
 
 val session_models : n:int -> delta:int -> Sweep.session_row list -> Report.t
+
+val nemesis_matrix : n:int -> delta:int -> Sweep.nemesis_row list -> Report.t

@@ -329,6 +329,7 @@ let record ~p ~join ?active ?leave () =
     join_time = time join;
     active_time = Option.map time active;
     leave_time = Option.map time leave;
+    crashed = false;
   }
 
 let test_analysis_counts () =

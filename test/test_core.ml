@@ -614,6 +614,32 @@ let test_deployment_abort_on_leave () =
   check_int "not pending" 0 (List.length (History.pending h));
   check_bool "still regular" true (Regularity.is_ok (Es_d.regularity d))
 
+let test_deployment_crash_cancels_timers () =
+  (* A crash-stop mid-write: the sync writer's completion timer is
+     pending in the scheduler when the process dies. Scheduler.cancel
+     (via the protocol's leave) must keep it from firing — the write
+     ends aborted, never responded — and the crash is attributed in
+     the membership record and churn counters. *)
+  let d = Sync_d.create (sync_cfg ~n:5 ()) (sync_params ()) in
+  let sched = Sync_d.scheduler d in
+  let w = Option.get (Sync_d.writer d) in
+  ignore (Scheduler.schedule_at sched (time 10) (fun () -> Sync_d.write d w));
+  (* delta = 3: the completion timer sits at t = 13 when the crash
+     lands at t = 11. *)
+  ignore (Scheduler.schedule_at sched (time 11) (fun () -> Sync_d.crash d w));
+  Sync_d.run_until d (time 40);
+  let h = Sync_d.history d in
+  check_int "no completed writes" 0 (List.length (History.completed_writes h));
+  check_int "write aborted" 1 (List.length (History.aborted h));
+  check_int "not pending" 0 (List.length (History.pending h));
+  check_int "crash counted" 1 (Metrics.get (Sync_d.metrics d) "churn.crash");
+  check_bool "writer designation cleared" true (Sync_d.writer d = None);
+  (* The cancelled timer must not resurrect the write after the fact:
+     drain everything and re-check. *)
+  Sync_d.run_to_quiescence d ();
+  check_int "still no completed writes" 0 (List.length (History.completed_writes h));
+  check_bool "still regular" true (Regularity.is_ok (Sync_d.regularity d))
+
 let test_deployment_busy_and_idle_listing () =
   let d = Es_d.create (es_cfg ~n:4 ()) (Es_register.default_params ~n:4) in
   let sched = Es_d.scheduler d in
@@ -807,6 +833,8 @@ let () =
       ( "deployment",
         [
           Alcotest.test_case "abort on leave" `Quick test_deployment_abort_on_leave;
+          Alcotest.test_case "crash cancels timers" `Quick
+            test_deployment_crash_cancels_timers;
           Alcotest.test_case "busy and idle listing" `Quick
             test_deployment_busy_and_idle_listing;
           Alcotest.test_case "retire writer" `Quick

@@ -291,6 +291,25 @@ let test_flood_routes_around_link_faults () =
   Alcotest.(check (list int)) "flooding routes around" [ 0; 1; 2; 3 ]
     (run (Network.Flooding { relay_depth = 2 }))
 
+let test_flood_dedup_absorbs_injected_duplicates () =
+  (* A nemesis duplicating every transmission must not break flooding's
+     exactly-once delivery: the per-broadcast dedup that already
+     suppresses relay echoes absorbs injected copies too. *)
+  let w = make_flood_world ~depth:2 () in
+  let pids = List.map Pid.of_int [ 0; 1; 2; 3; 4 ] in
+  List.iter (attach w) pids;
+  Network.set_fault_plan w.net (fun _dec ~msg_kind:_ ->
+      Network.Duplicate { copies = 2 });
+  Network.broadcast w.net ~src:(Pid.of_int 0) "dup-flood";
+  Scheduler.run w.sched ();
+  check_int "everyone exactly once despite duplicates" 5 (List.length !(w.inbox));
+  check_bool "injection happened" true (Network.faults_injected w.net > 0);
+  check_bool "duplicates suppressed" true (Metrics.get w.metrics "net.duplicate" > 0);
+  (* Every injected copy was announced: transmissions exceed what the
+     same flood costs without the nemesis. *)
+  check_bool "extra wire copies" true
+    (Metrics.get w.metrics "net.transmit" > Metrics.get w.metrics "net.injected")
+
 let test_flood_depth_one_is_one_hop () =
   (* relay_depth 1: origin's sends only; no relaying at receivers. *)
   let w = make_flood_world ~depth:1 () in
@@ -377,6 +396,8 @@ let () =
           Alcotest.test_case "delivery count" `Quick test_flood_delivery_within_depth_bound;
           Alcotest.test_case "routes around link faults" `Quick
             test_flood_routes_around_link_faults;
+          Alcotest.test_case "dedup absorbs injected duplicates" `Quick
+            test_flood_dedup_absorbs_injected_duplicates;
           Alcotest.test_case "depth one is one hop" `Quick test_flood_depth_one_is_one_hop;
         ] );
       qsuite "network-props" [ prop_sync_delivery_bound; prop_flood_delivery_bound ];
