@@ -7,7 +7,8 @@
      dune exec bench/main.exe               # tables + bechamel
      dune exec bench/main.exe -- --tables   # experiment tables only
      dune exec bench/main.exe -- --bench    # bechamel only
-     dune exec bench/main.exe -- --quick    # smaller parameters *)
+     dune exec bench/main.exe -- --quick    # smaller parameters
+     dune exec bench/main.exe -- --jobs 4   # engine workers for the tables *)
 
 open Dds_sim
 open Dds_net
@@ -17,14 +18,25 @@ open Dds_workload
 let quick = Array.exists (String.equal "--quick") Sys.argv
 let tables_only = Array.exists (String.equal "--tables") Sys.argv
 let bench_only = Array.exists (String.equal "--bench") Sys.argv
+
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then 0
+    else if String.equal Sys.argv.(i) "--jobs" then int_of_string Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  try find 1 with Failure _ -> 0
+
 let scale x = if quick then Stdlib.max 1 (x / 4) else x
 
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
 
-(* Prints each table as it is produced and returns them all, so the
-   run can be serialized to BENCH_results.json at the end. *)
-let run_tables () =
+(* Prints each table as it is produced and returns them all (plus the
+   engine-scaling rows), so the run can be serialized to
+   BENCH_results.json at the end. Every sweep submits its cells
+   through [pool]. *)
+let run_tables ~pool () =
   let acc = ref [] in
   let show r =
     acc := r :: !acc;
@@ -43,9 +55,9 @@ let run_tables () =
   let n = 60 and delta = 3 in
   show
     (Tables.lemma2 ~n ~delta
-       (Sweep.lemma2 ~n ~delta
+       (Sweep.lemma2 ~pool ~n ~delta
           ~ratios:[ 0.25; 0.5; 0.75; 0.9; 1.0; 1.2 ]
-          ~horizon:(scale 1500) ~seed:42));
+          ~horizon:(scale 1500) ~seed:42 ()));
 
   (* E5 — synchronous safety across the churn threshold, under both
      empty-inquiry policies (the paper's literal protocol vs the retry
@@ -55,11 +67,11 @@ let run_tables () =
   let ratios = [ 0.3; 0.6; 0.9; 1.1; 1.4; 2.0; 3.0 ] in
   show
     (Tables.sync_safety ~n ~delta ~variant:"paper-literal: adopt bottom"
-       (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~n ~delta ~ratios ~seeds
+       (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~pool ~n ~delta ~ratios ~seeds
           ~horizon:(scale 600) ()));
   show
     (Tables.sync_safety ~n ~delta ~variant:"hardened: retry inquiry"
-       (Sweep.sync_safety ~on_empty:Sync_register.Retry ~n ~delta ~ratios ~seeds
+       (Sweep.sync_safety ~on_empty:Sync_register.Retry ~pool ~n ~delta ~ratios ~seeds
           ~horizon:(scale 600) ()));
 
   (* E6 — synchronous operation latencies (Lemma 1's bounds). *)
@@ -72,7 +84,7 @@ let run_tables () =
   (* E7 — asynchronous impossibility curve. *)
   show
     (Tables.async_impossibility
-       (Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; scale 4000 ]));
+       (Sweep.async_series ~pool ~horizons:[ 250; 500; 1000; 2000; scale 4000 ] ()));
 
   (* E8 — eventually synchronous latencies, pre- vs post-GST. *)
   show
@@ -83,113 +95,135 @@ let run_tables () =
   let n = 10 in
   show
     (Tables.es_boundary ~n
-       (Sweep.es_boundary ~n
+       (Sweep.es_boundary ~pool ~n
           ~rates:[ 0.0; 0.005; 0.01; 0.02; 0.04; 0.08; 0.15 ]
-          ~horizon:(scale 600) ~seed:3));
+          ~horizon:(scale 600) ~seed:3 ()));
 
   (* E10 — ABD vs the dynamic protocols. *)
   let n = 20 and c = 0.02 and horizon = scale 1500 in
   show
     (Tables.abd_vs_dynamic ~n ~c ~horizon
-       (Sweep.abd_vs_dynamic ~n ~delta:3 ~c ~horizon ~seed:11));
+       (Sweep.abd_vs_dynamic ~pool ~n ~delta:3 ~c ~horizon ~seed:11 ()));
 
   (* E11 — message complexity. *)
   show
-    (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 10; 20; 40 ] ~delta:3 ~seed:5));
+    (Tables.msg_complexity
+       (Sweep.msg_complexity ~pool ~ns:[ 10; 20; 40 ] ~delta:3 ~seed:5 ()));
 
   (* E12 — timed quorums. *)
   let n = 30 in
   show
     (Tables.timed_quorum ~n
-       (Sweep.timed_quorum ~n
+       (Sweep.timed_quorum ~pool ~n
           ~cs:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
-          ~lifetime:20 ~trials:(scale 400) ~seed:17));
+          ~lifetime:20 ~trials:(scale 400) ~seed:17 ()));
 
   (* E13 — the greatest tolerable churn (Section 7's open question). *)
   let n = 24 in
   show
     (Tables.churn_threshold ~n
-       (Sweep.churn_threshold ~n ~deltas:[ 2; 3; 4 ]
+       (Sweep.churn_threshold ~pool ~n ~deltas:[ 2; 3; 4 ]
           ~seeds:(List.init (scale 4) (fun i -> 500 + i))
-          ~horizon:(scale 400)));
+          ~horizon:(scale 400) ()));
 
   (* E14 — bursty churn at a constant average rate. *)
   let n = 30 and delta = 3 in
   show
     (Tables.bursty_churn ~n ~delta
-       (Sweep.bursty_churn ~n ~delta
+       (Sweep.bursty_churn ~pool ~n ~delta
           ~seeds:(List.init (scale 8) (fun i -> 900 + i))
-          ~horizon:(scale 600)));
+          ~horizon:(scale 600) ()));
 
   (* E15 — message-loss fault injection (outside the paper's model). *)
   let n = 16 in
   show
     (Tables.message_loss ~n
-       (Sweep.message_loss ~n ~delta:3
+       (Sweep.message_loss ~pool ~n ~delta:3
           ~losses:[ 0.0; 0.01; 0.05; 0.1; 0.2 ]
-          ~horizon:(scale 500) ~seed:23));
+          ~horizon:(scale 500) ~seed:23 ()));
 
   (* E16 — footnote 4's join-wait optimization. *)
   let n = 20 and delta = 6 in
   show
     (Tables.join_wait_optimization ~n ~delta
-       (Sweep.join_wait_optimization ~n ~delta ~p2ps:[ 1; 2; 3 ] ~horizon:(scale 800)
-          ~seed:29));
+       (Sweep.join_wait_optimization ~pool ~n ~delta ~p2ps:[ 1; 2; 3 ] ~horizon:(scale 800)
+          ~seed:29 ()));
 
   (* E17 — the broadcast assumption, implemented and priced. *)
   let n = 16 in
   show
     (Tables.broadcast_robustness ~n
-       (Sweep.broadcast_robustness ~n
+       (Sweep.broadcast_robustness ~pool ~n
           ~losses:[ 0.0; 0.05; 0.1; 0.2 ]
-          ~horizon:(scale 600) ~seed:31));
+          ~horizon:(scale 600) ~seed:31 ()));
 
   (* E18 — consensus from the registers (the introduction's claim). *)
   let n = 10 and kregs = 3 in
   show
     (Tables.consensus ~n ~k:kregs
-       (Sweep.consensus_under_churn ~n ~k:kregs
+       (Sweep.consensus_under_churn ~pool ~n ~k:kregs
           ~cs:[ 0.0; 0.005; 0.01; 0.02 ]
-          ~horizon:(scale 1200) ~seed:37));
+          ~horizon:(scale 1200) ~seed:37 ()));
 
   (* E19 — the wireless zone: the churn bound as a speed limit. *)
   show
     (Tables.geo_speed ~delta:3
-       (Sweep.geo_speed
+       (Sweep.geo_speed ~pool
           ~speeds:[ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
-          ~horizon:(scale 1000) ~seed:5));
+          ~horizon:(scale 1000) ~seed:5 ()));
 
   (* E20 — quorum-size ablation: majority is the safety boundary. *)
   let n = 10 and c = 0.01 and loss = 0.3 in
   show
     (Tables.quorum_ablation ~n ~c ~loss
-       (Sweep.quorum_ablation ~loss ~n ~quorums:[ 1; 2; 3; 4; 5; 6 ] ~c
+       (Sweep.quorum_ablation ~loss ~pool ~n ~quorums:[ 1; 2; 3; 4; 5; 6 ] ~c
           ~horizon:(scale 800) ~seed:1 ()));
 
   (* E21 — regular-to-atomic via read-repair. *)
   show
-    (Tables.read_repair ~n:10 (Sweep.read_repair_ablation ~n:10 ~horizon:(scale 800) ~seed:47));
+    (Tables.read_repair ~n:10
+       (Sweep.read_repair_ablation ~pool ~n:10 ~horizon:(scale 800) ~seed:47 ()));
 
   (* E22 — delta mis-calibration. *)
   show
     (Tables.delta_calibration ~n:20 ~actual:6
-       (Sweep.delta_calibration ~n:20 ~actual:6
+       (Sweep.delta_calibration ~pool ~n:20 ~actual:6
           ~believed:[ 2; 4; 6; 9; 12 ]
-          ~horizon:(scale 900) ~seed:53));
+          ~horizon:(scale 900) ~seed:53 ()));
 
   (* E23 — churn process shape at equal average rate. *)
   let n = 30 and delta = 3 in
   show
     (Tables.session_models ~n ~delta
-       (Sweep.session_models ~n ~delta ~mean:15.0 ~horizon:(scale 900) ~seed:59));
+       (Sweep.session_models ~pool ~n ~delta ~mean:15.0 ~horizon:(scale 900) ~seed:59 ()));
 
   (* E24 — nemesis fault matrix. *)
   let n = 10 and delta = 3 in
+  let e24_horizon = Stdlib.max 120 (scale 240) in
   show
     (Tables.nemesis_matrix ~n ~delta
-       (Sweep.nemesis_matrix ~n ~delta ~horizon:(Stdlib.max 120 (scale 240)) ~seed:61));
+       (Sweep.nemesis_matrix ~pool ~n ~delta ~horizon:e24_horizon ~seed:61 ()));
 
-  List.rev !acc
+  (* Engine scaling — the E24 matrix re-timed under dedicated pools of
+     1, 2 and 4 workers. Wall time includes pool setup/teardown, which
+     is what a CLI user pays too. *)
+  let time_with_jobs jobs =
+    let t0 = Unix.gettimeofday () in
+    Dds_engine.Pool.with_pool ~jobs (fun pool ->
+        ignore (Sweep.nemesis_matrix ~pool ~n ~delta ~horizon:e24_horizon ~seed:61 ()));
+    Unix.gettimeofday () -. t0
+  in
+  let walls = List.map (fun j -> (j, time_with_jobs j)) [ 1; 2; 4 ] in
+  let base = List.assoc 1 walls in
+  let scaling =
+    List.map
+      (fun (j, w) ->
+        { Tables.sc_jobs = j; sc_wall_s = w; sc_speedup = (if w > 0. then base /. w else 0.) })
+      walls
+  in
+  show (Tables.engine_scaling ~case:"E24 nemesis matrix" scaling);
+
+  (List.rev !acc, scaling)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel benchmarks *)
@@ -336,7 +370,7 @@ let bench_e2 =
 let bench_e4 =
   Test.make ~name:"E4 lemma2 (small)"
     (Staged.stage (fun () ->
-         ignore (Sweep.lemma2 ~n:20 ~delta:3 ~ratios:[ 0.5 ] ~horizon:200 ~seed:1)))
+         ignore (Sweep.lemma2 ~n:20 ~delta:3 ~ratios:[ 0.5 ] ~horizon:200 ~seed:1 ())))
 
 let bench_e5 =
   Test.make ~name:"E5 sync safety (small)"
@@ -350,31 +384,31 @@ let bench_e7 =
 let bench_e9 =
   Test.make ~name:"E9 es boundary (small)"
     (Staged.stage (fun () ->
-         ignore (Sweep.es_boundary ~n:10 ~rates:[ 0.02 ] ~horizon:150 ~seed:1)))
+         ignore (Sweep.es_boundary ~n:10 ~rates:[ 0.02 ] ~horizon:150 ~seed:1 ())))
 
 let bench_e10 =
   Test.make ~name:"E10 abd-vs-dynamic (small)"
     (Staged.stage (fun () ->
-         ignore (Sweep.abd_vs_dynamic ~n:10 ~delta:3 ~c:0.02 ~horizon:200 ~seed:1)))
+         ignore (Sweep.abd_vs_dynamic ~n:10 ~delta:3 ~c:0.02 ~horizon:200 ~seed:1 ())))
 
 let bench_e11 =
   Test.make ~name:"E11 msg complexity (small)"
-    (Staged.stage (fun () -> ignore (Sweep.msg_complexity ~ns:[ 10 ] ~delta:3 ~seed:1)))
+    (Staged.stage (fun () -> ignore (Sweep.msg_complexity ~ns:[ 10 ] ~delta:3 ~seed:1 ())))
 
 let bench_e12 =
   Test.make ~name:"E12 timed quorum (small)"
     (Staged.stage (fun () ->
-         ignore (Sweep.timed_quorum ~n:20 ~cs:[ 0.02 ] ~lifetime:10 ~trials:50 ~seed:1)))
+         ignore (Sweep.timed_quorum ~n:20 ~cs:[ 0.02 ] ~lifetime:10 ~trials:50 ~seed:1 ())))
 
 let bench_e17 =
   Test.make ~name:"E17 broadcast modes (small)"
     (Staged.stage (fun () ->
-         ignore (Sweep.broadcast_robustness ~n:10 ~losses:[ 0.1 ] ~horizon:150 ~seed:1)))
+         ignore (Sweep.broadcast_robustness ~n:10 ~losses:[ 0.1 ] ~horizon:150 ~seed:1 ())))
 
 let bench_e18 =
   Test.make ~name:"E18 consensus (small)"
     (Staged.stage (fun () ->
-         ignore (Sweep.consensus_under_churn ~n:8 ~k:3 ~cs:[ 0.0 ] ~horizon:200 ~seed:1)))
+         ignore (Sweep.consensus_under_churn ~n:8 ~k:3 ~cs:[ 0.0 ] ~horizon:200 ~seed:1 ())))
 
 let benchmark () =
   let tests =
@@ -442,7 +476,7 @@ let bench_estimates results =
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let write_results_json ~tables ~estimates =
+let write_results_json ~tables ~scaling ~estimates =
   let module J = Dds_sim.Json in
   let json =
     J.Obj
@@ -453,6 +487,17 @@ let write_results_json ~tables ~estimates =
           J.Obj
             (List.map (fun (name, ns) -> (name, J.Obj [ ("ns_per_run", J.Float ns) ])) estimates)
         );
+        ( "engine_scaling",
+          J.List
+            (List.map
+               (fun r ->
+                 J.Obj
+                   [
+                     ("jobs", J.Int r.Tables.sc_jobs);
+                     ("wall_s", J.Float r.Tables.sc_wall_s);
+                     ("speedup", J.Float r.Tables.sc_speedup);
+                   ])
+               scaling) );
         ("tables", J.List (List.map Report.to_json tables));
       ]
   in
@@ -464,7 +509,12 @@ let write_results_json ~tables ~estimates =
     (List.length tables) (List.length estimates)
 
 let () =
-  let tables = if not bench_only then run_tables () else [] in
+  let tables, scaling =
+    if not bench_only then
+      let jobs = if jobs <= 0 then Dds_engine.Pool.default_jobs () else jobs in
+      Dds_engine.Pool.with_pool ~jobs (fun pool -> run_tables ~pool ())
+    else ([], [])
+  in
   let estimates =
     if not tables_only then begin
       let results = benchmark () in
@@ -473,5 +523,5 @@ let () =
     end
     else []
   in
-  write_results_json ~tables ~estimates;
+  write_results_json ~tables ~scaling ~estimates;
   Format.printf "@.done.@."

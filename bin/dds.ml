@@ -93,6 +93,7 @@ type common = {
   churn_window : int option;  (** monitor window; default 3 * delta *)
   liveness_k : int;  (** liveness deadline = k * delta ticks *)
   nemesis : Nemesis.plan option;  (** fault schedule to arm before running *)
+  jobs : int;  (** engine workers for sweep/hunt; 0 = auto *)
 }
 
 (* A copy-pasteable repro of this run's configuration — echoed on
@@ -422,21 +423,31 @@ let nemesis_t =
            $(b,partition(a=0-4,b=5-9)@[100,150]), $(b,crash(k=2,recover=10)@120), \
            $(b,storm(k=6)@200). Every injected fault is recorded in the typed trace.")
 
+let jobs_t =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,sweep) and $(b,hunt): independent cells/seeds run in \
+           parallel through the experiment engine with canonical-order aggregation, so \
+           the output is byte-identical for any N. 0 (the default) uses the machine's \
+           recommended domain count; 1 runs inline.")
+
 let common_t =
   let make seed n delta churn policy horizon read_rate write_every gst wild trace
       dump_history trace_out trace_format metrics_out monitor dot_out churn_window
-      liveness_k nemesis =
+      liveness_k nemesis jobs =
     {
       seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
       dump_history; trace_out; trace_format; metrics_out; monitor; dot_out; churn_window;
-      liveness_k; nemesis;
+      liveness_k; nemesis; jobs;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
     $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
     $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
-    $ liveness_k_t $ nemesis_t)
+    $ liveness_k_t $ nemesis_t $ jobs_t)
 
 (* The protocol can be given positionally ([dds run es ...]) or via
    [--proto es]; the flag wins when both are present. *)
@@ -537,7 +548,7 @@ let run_scenario name =
   | "async" ->
     Report.print
       (Tables.async_impossibility
-         (Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; 4000 ]));
+         (Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; 4000 ] ()));
     `Ok ()
   | other ->
     `Error
@@ -556,119 +567,144 @@ let scenario_cmd =
 
 (* sweep *)
 
+(* One engine pool per sweep/hunt invocation. The summary (and the
+   optional metrics dump notice) goes to stderr: stdout must stay
+   byte-identical across worker counts, and CI diffs it. *)
+let with_engine c f =
+  let jobs = if c.jobs <= 0 then Dds_engine.Pool.default_jobs () else c.jobs in
+  Dds_engine.Pool.with_pool ~jobs (fun pool ->
+      let r = f pool in
+      let stats = Dds_engine.Pool.stats pool in
+      let cells = List.fold_left (fun a s -> a + s.Dds_engine.Pool.ws_jobs) 0 stats in
+      let steals = List.fold_left (fun a s -> a + s.Dds_engine.Pool.ws_steals) 0 stats in
+      Format.eprintf "engine     : %d worker(s), %d job(s), %d steal(s), %.2fs wall@."
+        (Dds_engine.Pool.jobs pool) cells steals (Dds_engine.Pool.wall_s pool);
+      (match c.metrics_out with
+      | Some path ->
+        write_file path
+          (Json.to_string
+             (Export.metrics_to_json (Metrics.snapshot (Dds_engine.Pool.metrics pool)))
+          ^ "\n");
+        Format.eprintf "engine metrics written to %s@." path
+      | None -> ());
+      r)
+
 let run_sweep name c =
+  with_engine c @@ fun pool ->
   match name with
   | "lemma2" ->
     Report.print
       (Tables.lemma2 ~n:c.n ~delta:c.delta
-         (Sweep.lemma2 ~n:c.n ~delta:c.delta
+         (Sweep.lemma2 ~pool ~n:c.n ~delta:c.delta
             ~ratios:[ 0.25; 0.5; 0.75; 0.9; 1.0; 1.2 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "safety" ->
     let seeds = List.init 10 (fun i -> c.seed + i) in
     let ratios = [ 0.3; 0.6; 0.9; 1.1; 1.4; 2.0; 3.0 ] in
     Report.print
       (Tables.sync_safety ~n:c.n ~delta:c.delta ~variant:"paper-literal: adopt bottom"
-         (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~n:c.n ~delta:c.delta
+         (Sweep.sync_safety ~on_empty:Sync_register.Adopt_bottom ~pool ~n:c.n ~delta:c.delta
             ~ratios ~seeds ~horizon:c.horizon ()));
     `Ok ()
   | "boundary" ->
     Report.print
       (Tables.es_boundary ~n:c.n
-         (Sweep.es_boundary ~n:c.n
+         (Sweep.es_boundary ~pool ~n:c.n
             ~rates:[ 0.0; 0.005; 0.01; 0.02; 0.04; 0.08; 0.15 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "versus" ->
     let churn = if c.churn > 0.0 then c.churn else 0.02 in
     Report.print
       (Tables.abd_vs_dynamic ~n:c.n ~c:churn ~horizon:c.horizon
-         (Sweep.abd_vs_dynamic ~n:c.n ~delta:c.delta ~c:churn ~horizon:c.horizon
-            ~seed:c.seed));
+         (Sweep.abd_vs_dynamic ~pool ~n:c.n ~delta:c.delta ~c:churn ~horizon:c.horizon
+            ~seed:c.seed ()));
     `Ok ()
   | "msgs" ->
     Report.print
-      (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 10; 20; 40 ] ~delta:c.delta ~seed:c.seed));
+      (Tables.msg_complexity
+         (Sweep.msg_complexity ~pool ~ns:[ 10; 20; 40 ] ~delta:c.delta ~seed:c.seed ()));
     `Ok ()
   | "quorum" ->
     Report.print
       (Tables.timed_quorum ~n:c.n
-         (Sweep.timed_quorum ~n:c.n
+         (Sweep.timed_quorum ~pool ~n:c.n
             ~cs:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
-            ~lifetime:20 ~trials:400 ~seed:c.seed));
+            ~lifetime:20 ~trials:400 ~seed:c.seed ()));
     `Ok ()
   | "threshold" ->
     Report.print
       (Tables.churn_threshold ~n:c.n
-         (Sweep.churn_threshold ~n:c.n ~deltas:[ 2; 3; 4 ]
+         (Sweep.churn_threshold ~pool ~n:c.n ~deltas:[ 2; 3; 4 ]
             ~seeds:(List.init 4 (fun i -> c.seed + i))
-            ~horizon:c.horizon));
+            ~horizon:c.horizon ()));
     `Ok ()
   | "bursty" ->
     Report.print
       (Tables.bursty_churn ~n:c.n ~delta:c.delta
-         (Sweep.bursty_churn ~n:c.n ~delta:c.delta
+         (Sweep.bursty_churn ~pool ~n:c.n ~delta:c.delta
             ~seeds:(List.init 8 (fun i -> c.seed + i))
-            ~horizon:c.horizon));
+            ~horizon:c.horizon ()));
     `Ok ()
   | "loss" ->
     Report.print
       (Tables.message_loss ~n:c.n
-         (Sweep.message_loss ~n:c.n ~delta:c.delta
+         (Sweep.message_loss ~pool ~n:c.n ~delta:c.delta
             ~losses:[ 0.0; 0.01; 0.05; 0.1; 0.2 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "broadcast" ->
     Report.print
       (Tables.broadcast_robustness ~n:c.n
-         (Sweep.broadcast_robustness ~n:c.n
+         (Sweep.broadcast_robustness ~pool ~n:c.n
             ~losses:[ 0.0; 0.05; 0.1; 0.2 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "consensus" ->
     Report.print
       (Tables.consensus ~n:c.n ~k:3
-         (Sweep.consensus_under_churn ~n:c.n ~k:3
+         (Sweep.consensus_under_churn ~pool ~n:c.n ~k:3
             ~cs:[ 0.0; 0.005; 0.01; 0.02 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "sessions" ->
     Report.print
       (Tables.session_models ~n:c.n ~delta:c.delta
-         (Sweep.session_models ~n:c.n ~delta:c.delta ~mean:15.0 ~horizon:c.horizon
-            ~seed:c.seed));
+         (Sweep.session_models ~pool ~n:c.n ~delta:c.delta ~mean:15.0 ~horizon:c.horizon
+            ~seed:c.seed ()));
     `Ok ()
   | "calibration" ->
     Report.print
       (Tables.delta_calibration ~n:c.n ~actual:(Stdlib.max c.delta 4)
-         (Sweep.delta_calibration ~n:c.n
+         (Sweep.delta_calibration ~pool ~n:c.n
             ~actual:(Stdlib.max c.delta 4)
             ~believed:[ 2; 4; 6; 9; 12 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "repair" ->
     Report.print
-      (Tables.read_repair ~n:c.n (Sweep.read_repair_ablation ~n:c.n ~horizon:c.horizon ~seed:c.seed));
+      (Tables.read_repair ~n:c.n
+         (Sweep.read_repair_ablation ~pool ~n:c.n ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "geo" ->
     Report.print
       (Tables.geo_speed ~delta:3
-         (Sweep.geo_speed
+         (Sweep.geo_speed ~pool
             ~speeds:[ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
-            ~horizon:c.horizon ~seed:c.seed));
+            ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "nemesis" ->
     Report.print
       (Tables.nemesis_matrix ~n:c.n ~delta:c.delta
-         (Sweep.nemesis_matrix ~n:c.n ~delta:c.delta ~horizon:c.horizon ~seed:c.seed));
+         (Sweep.nemesis_matrix ~pool ~n:c.n ~delta:c.delta ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | "joinopt" ->
     Report.print
       (Tables.join_wait_optimization ~n:c.n ~delta:(Stdlib.max c.delta 4)
-         (Sweep.join_wait_optimization ~n:c.n
+         (Sweep.join_wait_optimization ~pool ~n:c.n
             ~delta:(Stdlib.max c.delta 4)
-            ~p2ps:[ 1; 2 ] ~horizon:c.horizon ~seed:c.seed));
+            ~p2ps:[ 1; 2 ] ~horizon:c.horizon ~seed:c.seed ()));
     `Ok ()
   | other ->
     `Error
@@ -960,15 +996,21 @@ let run_hunt protocol plans profile no_shrink c =
         Nemesis.random ~rng ~n:c.n ~horizon:c.horizon ~delta:c.delta profile
     in
     let seeds = List.init plans (fun i -> c.seed + i) in
-    match Hunt.search ~runner ~gen seeds with
+    (* The pool searches seeds with early cancellation but still
+       reports the lowest violating seed and the sequential run count
+       (see Hunt.search), so repro lines and summaries are identical
+       at any --jobs. *)
+    match with_engine c (fun pool -> Hunt.search ~pool ~runner ~gen seeds) with
     | None ->
-      Format.printf "hunt       : %d seed(s) clean (seeds %d..%d, %s profile)@." plans c.seed
+      Format.printf "hunt       : %d seed(s) clean (seeds %d..%d, %s profile, %d examined)@."
+        plans c.seed
         (c.seed + plans - 1)
-        (match profile with Nemesis.Within _ -> "within-model" | Nemesis.Any -> "any");
+        (match profile with Nemesis.Within _ -> "within-model" | Nemesis.Any -> "any")
+        plans;
       `Ok ()
     | Some found ->
-      Format.printf "hunt       : violation at seed %d after %d run(s)@." found.Hunt.seed
-        found.Hunt.runs;
+      Format.printf "hunt       : violation at seed %d after %d of %d seed(s) examined@."
+        found.Hunt.seed found.Hunt.runs plans;
       Format.printf "plan       : %s@." (Nemesis.to_string found.Hunt.plan);
       List.iter (fun v -> Format.printf "  %s@." v) found.Hunt.violations;
       let found =

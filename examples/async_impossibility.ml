@@ -16,7 +16,7 @@
 open Dds_workload
 
 let () =
-  let rows = Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; 4000; 8000 ] in
+  let rows = Sweep.async_series ~horizons:[ 250; 500; 1000; 2000; 4000; 8000 ] () in
   Report.print (Tables.async_impossibility rows);
   let last = List.nth rows (List.length rows - 1) in
   Format.printf

@@ -1,0 +1,93 @@
+(* Chase-Lev dynamic circular work-stealing deque (SPAA 2005), on
+   OCaml 5 Atomics. [top] is advanced only by compare-and-set (thieves
+   racing each other and the owner's last-element pop); [bottom] is
+   written only by the owner. The buffer is an atomic ref to an
+   immutable-once-published circular array: growth copies the live
+   window [top, bottom) into a doubled array and swaps the reference,
+   and a thief still holding the old array reads values that growth
+   never overwrites (slots below [bottom] are only reused after [top]
+   has advanced past them, which fails the thief's CAS). *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option array Atomic.t;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(capacity = 16) () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make (round_pow2 (Stdlib.max capacity 2)) None);
+  }
+
+let size q =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  Stdlib.max 0 (b - t)
+
+(* Owner only. *)
+let grow q ~bottom ~top =
+  let old = Atomic.get q.buf in
+  let n = Array.length old in
+  let fresh = Array.make (2 * n) None in
+  for i = top to bottom - 1 do
+    fresh.(i land ((2 * n) - 1)) <- old.(i land (n - 1))
+  done;
+  Atomic.set q.buf fresh
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t >= Array.length (Atomic.get q.buf) then grow q ~bottom:b ~top:t;
+  let buf = Atomic.get q.buf in
+  buf.(b land (Array.length buf - 1)) <- Some x;
+  (* The Atomic.set publishes the slot write to thieves. *)
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty; restore the canonical empty state. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = buf.(b land (Array.length buf - 1)) in
+    if b > t then begin
+      buf.(b land (Array.length buf - 1)) <- None;
+      x
+    end
+    else begin
+      (* Last element: race thieves for it by advancing top. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        buf.(b land (Array.length buf - 1)) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = buf.(t land (Array.length buf - 1)) in
+    if Atomic.compare_and_set q.top t (t + 1) then x
+    else begin
+      (* Lost the race (another thief or the owner's final pop);
+         re-examine rather than reporting a spurious empty. *)
+      Domain.cpu_relax ();
+      steal q
+    end
+  end

@@ -1,0 +1,37 @@
+(** Chase-Lev work-stealing deque.
+
+    The owner domain pushes and pops at the bottom (LIFO); thief
+    domains steal from the top (FIFO), so the oldest work migrates and
+    the owner keeps cache-hot recent work. Single-owner, multi-thief:
+    {!push} and {!pop} must only ever be called from one domain, while
+    {!steal} is safe from any number of other domains concurrently.
+
+    The implementation is the classic Chase-Lev dynamic circular
+    deque (SPAA 2005) on OCaml [Atomic]s: [top] advances by
+    compare-and-set (thieves race each other and the owner's
+    last-element pop), [bottom] is owner-written, and the buffer grows
+    geometrically — old buffers stay valid for in-flight steals, so
+    growth never blocks thieves. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 16, rounded up to a power of two) is only the
+    initial buffer size; the deque grows without bound. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: remove the most recently pushed element, or [None]
+    when the deque is empty (including losing the race for the last
+    element to a thief). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: remove the oldest element, or [None] when empty.
+    Retries internally while losing CAS races, so [None] really means
+    the deque was observed empty. *)
+
+val size : 'a t -> int
+(** Snapshot of the current length; racy under concurrency (use for
+    stats and tests, not control flow). *)

@@ -1,0 +1,269 @@
+type 'r job = { key : string; run : unit -> 'r }
+
+exception Job_failed of { key : string; exn : exn }
+
+(* A submitted job, erased to unit: the wrapper writes its result into
+   the batch's slot array, so aggregation is by submission index and
+   the merged output is independent of which worker ran what. *)
+type packed = { index : int; pkey : string; prun : unit -> unit }
+
+type batch = {
+  deques : packed Deque.t array;
+  remaining : int Atomic.t;  (** jobs not yet finished (run or skipped) *)
+  failed : (int * string * exn) option Atomic.t;
+      (** first failure recorded; once set, unstarted jobs are skipped *)
+}
+
+type state = Idle | Running of batch | Stopped
+
+type t = {
+  workers : int;  (* total workers; workers - 1 spawned domains *)
+  mutable domains : unit Domain.t list;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable state : state;
+  mutable generation : int;  (* bumped per batch so workers re-arm *)
+  (* Per-worker stats: slot [w] is written only by worker [w]. *)
+  stat_jobs : int array;
+  stat_steals : int array;
+  stat_busy : float array;
+  mutable batch_count : int;
+  mutable wall_total : float;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let record_failure batch index key exn =
+  (* Keep the lowest-index failure so the reported key is stable. *)
+  let rec go () =
+    match Atomic.get batch.failed with
+    | Some (i, _, _) when i <= index -> ()
+    | cur ->
+      if not (Atomic.compare_and_set batch.failed cur (Some (index, key, exn))) then go ()
+  in
+  go ()
+
+let run_job t w batch (j : packed) =
+  if Atomic.get batch.failed = None then begin
+    let t0 = Unix.gettimeofday () in
+    (try j.prun () with exn -> record_failure batch j.index j.pkey exn);
+    t.stat_busy.(w) <- t.stat_busy.(w) +. (Unix.gettimeofday () -. t0);
+    t.stat_jobs.(w) <- t.stat_jobs.(w) + 1
+  end;
+  ignore (Atomic.fetch_and_add batch.remaining (-1))
+
+(* Worker [w] drains the batch: own deque first, then steal round
+   robin from the others; returns when every job has finished. The
+   idle path spins briefly then sleeps, so a tail of long jobs on
+   fewer cores than workers doesn't melt into busy-waiting. *)
+let work t w batch =
+  let n = Array.length batch.deques in
+  let idle = ref 0 in
+  let rec loop () =
+    match Deque.pop batch.deques.(w) with
+    | Some j ->
+      idle := 0;
+      run_job t w batch j;
+      loop ()
+    | None ->
+      let stolen = ref None in
+      let v = ref 1 in
+      while !stolen = None && !v < n do
+        (match Deque.steal batch.deques.((w + !v) mod n) with
+        | Some j -> stolen := Some j
+        | None -> ());
+        incr v
+      done;
+      (match !stolen with
+      | Some j ->
+        idle := 0;
+        t.stat_steals.(w) <- t.stat_steals.(w) + 1;
+        run_job t w batch j;
+        loop ()
+      | None ->
+        if Atomic.get batch.remaining > 0 then begin
+          incr idle;
+          if !idle land 63 = 0 then Unix.sleepf 0.0002 else Domain.cpu_relax ();
+          loop ()
+        end)
+  in
+  loop ()
+
+let worker_loop t w =
+  let rec wait last_gen =
+    Mutex.lock t.lock;
+    let rec block () =
+      match t.state with
+      | Stopped -> None
+      | Running b when t.generation <> last_gen -> Some (t.generation, b)
+      | Running _ | Idle ->
+        Condition.wait t.cond t.lock;
+        block ()
+    in
+    let next = block () in
+    Mutex.unlock t.lock;
+    match next with
+    | None -> ()
+    | Some (gen, batch) ->
+      work t w batch;
+      wait gen
+  in
+  wait 0
+
+let create ?jobs () =
+  let workers = Stdlib.max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      workers;
+      domains = [];
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      state = Idle;
+      generation = 0;
+      stat_jobs = Array.make workers 0;
+      stat_steals = Array.make workers 0;
+      stat_busy = Array.make workers 0.0;
+      batch_count = 0;
+      wall_total = 0.0;
+    }
+  in
+  t.domains <- List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let jobs t = t.workers
+
+let shutdown t =
+  let stop =
+    Mutex.lock t.lock;
+    let was = t.state in
+    if was <> Stopped then t.state <- Stopped;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    was <> Stopped
+  in
+  if stop then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_batch t packed =
+  let njobs = List.length packed in
+  (match t.state with
+  | Idle -> ()
+  | Running _ -> invalid_arg "Pool.run: pool is already running a batch"
+  | Stopped -> invalid_arg "Pool.run: pool is shut down");
+  let t0 = Unix.gettimeofday () in
+  let failed =
+    if t.workers = 1 || njobs <= 1 then begin
+      let batch =
+        { deques = [||]; remaining = Atomic.make njobs; failed = Atomic.make None }
+      in
+      List.iter (fun j -> run_job t 0 batch j) packed;
+      Atomic.get batch.failed
+    end
+    else begin
+      let deques = Array.init t.workers (fun _ -> Deque.create ()) in
+      (* Round-robin pre-distribution: worker 0 gets indices 0, w, 2w,
+         ... — the stealing protocol rebalances whatever this gets
+         wrong, and the slot array makes placement invisible. *)
+      List.iteri (fun i j -> Deque.push deques.(i mod t.workers) j) packed;
+      let batch = { deques; remaining = Atomic.make njobs; failed = Atomic.make None } in
+      Mutex.lock t.lock;
+      t.state <- Running batch;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      work t 0 batch;
+      Mutex.lock t.lock;
+      t.state <- Idle;
+      Mutex.unlock t.lock;
+      Atomic.get batch.failed
+    end
+  in
+  t.batch_count <- t.batch_count + 1;
+  t.wall_total <- t.wall_total +. (Unix.gettimeofday () -. t0);
+  match failed with
+  | Some (_, key, exn) -> raise (Job_failed { key; exn })
+  | None -> ()
+
+let run t (jobs : 'r job list) : 'r list =
+  let n = List.length jobs in
+  let out = Array.make (Stdlib.max n 1) None in
+  let packed =
+    List.mapi
+      (fun i (j : 'r job) ->
+        { index = i; pkey = j.key; prun = (fun () -> out.(i) <- Some (j.run ())) })
+      jobs
+  in
+  run_batch t packed;
+  List.init n (fun i ->
+      match out.(i) with
+      | Some r -> r
+      | None -> raise (Job_failed { key = (List.nth jobs i).key; exn = Exit }))
+
+let map t ~key ~f xs = run t (List.map (fun x -> { key = key x; run = (fun () -> f x) }) xs)
+
+let find_first t ~key ~f xs =
+  let n = List.length xs in
+  let best = Atomic.make max_int in
+  let out = Array.make (Stdlib.max n 1) None in
+  let jobs =
+    List.mapi
+      (fun i x ->
+        {
+          key = key x;
+          run =
+            (fun () ->
+              (* Skip only elements strictly after a known hit: every
+                 element before any hit is always evaluated, so the
+                 lowest-index answer is worker-count-independent. *)
+              if i < Atomic.get best then
+                match f x with
+                | None -> ()
+                | Some r ->
+                  out.(i) <- Some r;
+                  let rec lower () =
+                    let cur = Atomic.get best in
+                    if i < cur && not (Atomic.compare_and_set best cur i) then lower ()
+                  in
+                  lower ());
+        })
+      xs
+  in
+  ignore (run t jobs : unit list);
+  match Atomic.get best with
+  | i when i = max_int -> None
+  | i -> Some (i, Option.get out.(i))
+
+type worker_stat = { ws_jobs : int; ws_steals : int; ws_busy_s : float }
+
+let stats t =
+  List.init t.workers (fun w ->
+      { ws_jobs = t.stat_jobs.(w); ws_steals = t.stat_steals.(w); ws_busy_s = t.stat_busy.(w) })
+
+let batches t = t.batch_count
+let wall_s t = t.wall_total
+
+let metrics t =
+  let m = Dds_sim.Metrics.create () in
+  let total_jobs = Array.fold_left ( + ) 0 t.stat_jobs in
+  let total_steals = Array.fold_left ( + ) 0 t.stat_steals in
+  let total_busy = Array.fold_left ( +. ) 0.0 t.stat_busy in
+  Dds_sim.Metrics.add m "engine.jobs" total_jobs;
+  Dds_sim.Metrics.add m "engine.steals" total_steals;
+  Dds_sim.Metrics.add m "engine.batches" t.batch_count;
+  Dds_sim.Metrics.add m "engine.workers" t.workers;
+  Dds_sim.Metrics.set_gauge m "engine.wall_s" t.wall_total;
+  Dds_sim.Metrics.set_gauge m "engine.busy_s" total_busy;
+  for w = 0 to t.workers - 1 do
+    Dds_sim.Metrics.set_gauge m (Printf.sprintf "engine.w%d.jobs" w) (float_of_int t.stat_jobs.(w));
+    Dds_sim.Metrics.set_gauge m
+      (Printf.sprintf "engine.w%d.steals" w)
+      (float_of_int t.stat_steals.(w));
+    Dds_sim.Metrics.set_gauge m (Printf.sprintf "engine.w%d.busy_s" w) t.stat_busy.(w)
+  done;
+  m

@@ -1,0 +1,88 @@
+(** Deterministic multicore job runner.
+
+    A pool owns [jobs - 1] worker domains (the submitting domain is
+    worker 0) and runs batches of independent jobs over per-worker
+    {!Deque}s with work stealing. Results are aggregated in
+    {e canonical order} — the order the jobs were submitted in — so
+    the merged output of a batch is byte-identical for any worker
+    count: determinism is the contract, parallelism is invisible.
+
+    The contract this requires from jobs: each [run] must be a pure
+    function of its closure (typically a seeded simulation that builds
+    its own {!Dds_sim.Rng.t}, deployment, metrics and event sink),
+    sharing no mutable state with any other job and writing nothing to
+    [stdout]/[stderr]. Every simulation in this repository already has
+    that shape — a whole run is a function of its seed.
+
+    A pool created with [jobs = 1] spawns no domains and runs batches
+    inline in submission order, so sequential behaviour (including
+    which job's exception wins) is the [jobs = 1] special case of the
+    same code path. *)
+
+type t
+
+type 'r job = { key : string; run : unit -> 'r }
+(** One unit of work: [run] is a pure seeded computation, [key] names
+    it in errors and metrics (e.g. ["safety:ratio=0.9:seed=104"]). *)
+
+exception Job_failed of { key : string; exn : exn }
+(** Raised by {!run} / {!map} / {!find_first} when a job raised:
+    the whole campaign fails, carrying the job's key. Remaining
+    not-yet-started jobs are skipped once a failure is recorded. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs] defaults
+    to. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
+    least 1 total worker; default {!default_jobs}). *)
+
+val jobs : t -> int
+(** Worker count, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Stops and joins every worker domain. Idempotent; after shutdown
+    the pool rejects new batches ([Invalid_argument]). *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and {!shutdown} even on exceptions. *)
+
+val run : t -> 'r job list -> 'r list
+(** Runs a batch and returns results in submission order (canonical
+    order). @raise Job_failed if any job raised. *)
+
+val map : t -> key:('a -> string) -> f:('a -> 'r) -> 'a list -> 'r list
+(** [map p ~key ~f xs] is [List.map f xs] computed on the pool, in
+    canonical order. *)
+
+val find_first : t -> key:('a -> string) -> f:('a -> 'r option) -> 'a list -> (int * 'r) option
+(** Parallel earliest-match search with early cancellation: returns
+    [Some (i, r)] where [i] is the {e lowest} index at which [f]
+    yields [Some r] — later elements are skipped once an earlier hit
+    is known, but every element before a hit is always evaluated, so
+    the answer is independent of the worker count. [None] when [f]
+    yielded [None] everywhere. *)
+
+(** {1 Engine metrics} *)
+
+type worker_stat = {
+  ws_jobs : int;  (** jobs this worker ran *)
+  ws_steals : int;  (** jobs it took from another worker's deque *)
+  ws_busy_s : float;  (** wall seconds spent inside job bodies *)
+}
+
+val stats : t -> worker_stat list
+(** Per-worker counters, accumulated across all batches so far. Call
+    between batches (not concurrently with one). *)
+
+val batches : t -> int
+val wall_s : t -> float
+(** Total batches run and wall seconds spent inside {!run} calls. *)
+
+val metrics : t -> Dds_sim.Metrics.t
+(** The same numbers as a {!Dds_sim.Metrics.t} — counters
+    [engine.jobs], [engine.steals], [engine.batches] and per-worker
+    [engine.w<i>.*] gauges plus [engine.wall_s] / [engine.busy_s] —
+    so engine telemetry flows through the existing
+    {!Dds_sim.Export.metrics_to_json} path. *)

@@ -4,16 +4,32 @@ type runner = seed:int -> Nemesis.plan -> outcome
 
 type found = { seed : int; plan : Nemesis.plan; violations : string list; runs : int }
 
-let search ~runner ~gen seeds =
-  let runs = ref 0 in
-  List.find_map
-    (fun seed ->
-      let plan = gen ~seed in
-      incr runs;
-      let o : outcome = runner ~seed plan in
-      if o.violations = [] then None
-      else Some { seed; plan; violations = o.violations; runs = !runs })
-    seeds
+let search ?pool ~runner ~gen seeds =
+  let try_seed seed =
+    let plan = gen ~seed in
+    let o : outcome = runner ~seed plan in
+    if o.violations = [] then None else Some (plan, o.violations)
+  in
+  match pool with
+  | None ->
+    let runs = ref 0 in
+    List.find_map
+      (fun seed ->
+        incr runs;
+        match try_seed seed with
+        | None -> None
+        | Some (plan, violations) -> Some { seed; plan; violations; runs = !runs })
+      seeds
+  | Some p ->
+    (* Early-cancel parallel scan. [find_first] always evaluates every
+       seed before a hit, so both the winning seed (the earliest in
+       the list) and the run count (hit position + 1, matching the
+       sequential count exactly) are worker-count-independent. *)
+    Dds_engine.Pool.find_first p
+      ~key:(fun seed -> Printf.sprintf "hunt:seed=%d" seed)
+      ~f:try_seed seeds
+    |> Option.map (fun (i, (plan, violations)) ->
+           { seed = List.nth seeds i; plan; violations; runs = i + 1 })
 
 let half x = Stdlib.max 1 (x / 2)
 

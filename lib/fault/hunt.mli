@@ -24,10 +24,20 @@ type found = {
   runs : int;  (** runs spent finding (search) or spent in total (shrink) *)
 }
 
-val search : runner:runner -> gen:(seed:int -> Nemesis.plan) -> int list -> found option
+val search :
+  ?pool:Dds_engine.Pool.t ->
+  runner:runner ->
+  gen:(seed:int -> Nemesis.plan) ->
+  int list ->
+  found option
 (** [search ~runner ~gen seeds] runs each seed under [gen ~seed] in
     order and returns the first violating run, or [None] when every
-    seed came back clean. *)
+    seed came back clean. With [?pool] the seeds run as parallel
+    engine jobs with early cancellation; the reported seed is still
+    the {e earliest} violating one in [seeds] and [runs] still counts
+    the seeds up to and including it, exactly as in the sequential
+    scan, whatever the worker count. Shrinking stays sequential — each
+    candidate depends on the last verdict. *)
 
 val shrink : runner:runner -> found -> found
 (** Greedy minimization at the found seed: repeatedly try removing one

@@ -7,7 +7,13 @@
     run, and {!snapshot} freezes the whole registry into a plain value
     the {!Export} layer can serialize. Purely in-memory and
     per-deployment — not a global singleton — so concurrent
-    deployments never share state. *)
+    deployments never share state.
+
+    {b Domain safety.} A registry is unsynchronized mutable state:
+    like {!Rng.t} it must stay confined to one domain. Parallel
+    engine jobs each create their own deployment (hence their own
+    registry); the pool's own cross-domain bookkeeping lives in
+    [Dds_engine.Pool] behind atomics, not here. *)
 
 type t
 

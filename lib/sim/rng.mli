@@ -6,7 +6,14 @@
     execution is a pure function of its seed. The generator is
     SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny state, good
     statistical quality, and cheap {!split}ting into independent
-    streams so that subsystems cannot perturb each other's draws. *)
+    streams so that subsystems cannot perturb each other's draws.
+
+    {b Domain safety.} A [t] is plain mutable state with no lock: it
+    must stay confined to the domain that created it. The module keeps
+    no global state (in particular it never touches [Stdlib.Random]),
+    so the engine's rule — each parallel job builds its own generator
+    from its own seed — makes concurrent simulations both safe and
+    bit-for-bit identical to sequential ones. *)
 
 type t
 (** A mutable generator state. *)

@@ -13,6 +13,17 @@ module Abd_gen = Generator.Make (Abd_d)
 
 let time = Time.of_int
 
+(* Engine plumbing: every multi-cell runner submits its independent
+   (seed, params) cells through the pool when one is given. Each cell
+   builds its own deployment (rng, metrics, history, event sink) from
+   its seed, so cells share nothing; [Pool.map] aggregates in
+   submission order, which keeps every table byte-identical for any
+   worker count. Without a pool the same cells run inline. *)
+let pmap ?pool ~key f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some p -> Dds_engine.Pool.map p ~key ~f xs
+
 let latency_of (o : History.op) =
   Option.map (fun r -> Time.diff r o.History.invoked) o.History.responded
 
@@ -41,8 +52,9 @@ type lemma2_row = {
   l2_instant_min : int;
 }
 
-let lemma2 ~n ~delta ~ratios ~horizon ~seed =
-  List.map
+let lemma2 ?pool ~n ~delta ~ratios ~horizon ~seed () =
+  pmap ?pool
+    ~key:(fun ratio -> Printf.sprintf "lemma2:ratio=%g" ratio)
     (fun ratio ->
       let c = ratio /. (3.0 *. float_of_int delta) in
       let cfg =
@@ -87,47 +99,60 @@ type safety_row = {
   sf_incomplete_joins : int;
 }
 
-let sync_safety ?(on_empty = Sync_register.Retry) ~n ~delta ~ratios ~seeds ~horizon () =
+let sync_safety ?(on_empty = Sync_register.Retry) ?pool ~n ~delta ~ratios ~seeds ~horizon () =
+  (* The (ratio, seed) grid is the job unit: every run is a pure
+     function of its cell, and the per-ratio totals are folded back in
+     canonical grid order afterwards. *)
+  let run_one (ratio, seed) =
+    let c = ratio /. (3.0 *. float_of_int delta) in
+    let cfg =
+      {
+        (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+           ~churn_rate:c)
+        with
+        Deployment.churn_policy = Churn.Active_first;
+      }
+    in
+    let d =
+      Sync_d.create cfg
+        { (Sync_register.default_params ~delta) with Sync_register.on_empty_inquiry = on_empty }
+    in
+    Sync_d.start_churn d ~until:(time horizon);
+    Sync_gen.run d
+      { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
+        until = time horizon };
+    Sync_d.run_until d (time (horizon + (4 * delta)));
+    let report = Sync_d.regularity d in
+    let violations = List.length report.Regularity.violations in
+    let retries = Metrics.get (Sync_d.metrics d) "sync.join.retry" in
+    let pending_joins =
+      List.length (List.filter is_join (History.pending (Sync_d.history d)))
+    in
+    (violations, retries, pending_joins)
+  in
+  let grid = List.concat_map (fun ratio -> List.map (fun seed -> (ratio, seed)) seeds) ratios in
+  let outcomes =
+    pmap ?pool
+      ~key:(fun (ratio, seed) -> Printf.sprintf "safety:ratio=%g:seed=%d" ratio seed)
+      run_one grid
+  in
+  let cells = List.combine grid outcomes in
   List.map
     (fun ratio ->
-      let c = ratio /. (3.0 *. float_of_int delta) in
-      let totals = ref (0, 0, 0, 0) in
-      List.iter
-        (fun seed ->
-          let cfg =
-            {
-              (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
-                 ~churn_rate:c)
-              with
-              Deployment.churn_policy = Churn.Active_first;
-            }
-          in
-          let d =
-            Sync_d.create cfg
-              { (Sync_register.default_params ~delta) with Sync_register.on_empty_inquiry = on_empty }
-          in
-          Sync_d.start_churn d ~until:(time horizon);
-          Sync_gen.run d
-            { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
-              until = time horizon };
-          Sync_d.run_until d (time (horizon + (4 * delta)));
-          let report = Sync_d.regularity d in
-          let violations = List.length report.Regularity.violations in
-          let retries = Metrics.get (Sync_d.metrics d) "sync.join.retry" in
-          let pending_joins =
-            List.length (List.filter is_join (History.pending (Sync_d.history d)))
-          in
-          let v, rwv, jr, pj = !totals in
-          totals :=
-            ( v + violations,
-              (rwv + if violations > 0 then 1 else 0),
-              jr + retries,
-              pj + pending_joins ))
-        seeds;
-      let v, rwv, jr, pj = !totals in
+      let v, rwv, jr, pj =
+        List.fold_left
+          (fun (v, rwv, jr, pj) ((r, _), (violations, retries, pending)) ->
+            if r <> ratio then (v, rwv, jr, pj)
+            else
+              ( v + violations,
+                (rwv + if violations > 0 then 1 else 0),
+                jr + retries,
+                pj + pending ))
+          (0, 0, 0, 0) cells
+      in
       {
         sf_ratio = ratio;
-        sf_c = c;
+        sf_c = ratio /. (3.0 *. float_of_int delta);
         sf_runs = List.length seeds;
         sf_violations = v;
         sf_runs_with_violation = rwv;
@@ -198,8 +223,9 @@ type async_row = {
   as_mean_staleness : float;
 }
 
-let async_series ~horizons =
-  List.map
+let async_series ?pool ~horizons () =
+  pmap ?pool
+    ~key:(fun horizon -> Printf.sprintf "async:horizon=%d" horizon)
     (fun horizon ->
       let o = Scenario.async_staleness ~horizon in
       {
@@ -223,8 +249,9 @@ type boundary_row = {
   bd_violations : int;
 }
 
-let es_boundary ~n ~rates ~horizon ~seed =
-  List.map
+let es_boundary ?pool ~n ~rates ~horizon ~seed () =
+  pmap ?pool
+    ~key:(fun c -> Printf.sprintf "boundary:c=%g" c)
     (fun c ->
       let cfg =
         {
@@ -279,7 +306,7 @@ let founders_alive membership ~n =
        (fun pid -> Pid.to_int pid < n)
        (Membership.present membership))
 
-let abd_vs_dynamic ~n ~delta ~c ~horizon ~seed =
+let abd_vs_dynamic ?pool ~n ~delta ~c ~horizon ~seed () =
   let gen_cfg =
     { Generator.read_rate = 0.5; write_every = 10 * delta; start = time 1;
       until = time horizon }
@@ -332,7 +359,10 @@ let abd_vs_dynamic ~n ~delta ~c ~horizon ~seed =
       vs_founders_alive_at_end = founders_alive (Abd_d.membership d) ~n;
     }
   in
-  [ run_sync (); run_es (); run_abd () ]
+  pmap ?pool
+    ~key:(fun (name, _) -> "versus:" ^ name)
+    (fun (_, f) -> f ())
+    [ ("sync", run_sync); ("es", run_es); ("abd", run_abd) ]
 
 (* ------------------------------------------------------------------ *)
 (* E11 *)
@@ -363,14 +393,14 @@ let measure_phase ~metrics ~quiesce ~ops ~issue =
   done;
   float_of_int (transmissions metrics - before) /. float_of_int ops
 
-let msg_complexity ~ns ~delta ~seed =
+let msg_complexity ?pool ~ns ~delta ~seed () =
   let ops = 10 in
-  List.concat_map
-    (fun n ->
-      let cfg =
-        Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:0.0
-      in
-      let sync_row =
+  let row_for (n, protocol) =
+    let cfg =
+      Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:0.0
+    in
+    match protocol with
+    | "sync" ->
         let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
         let metrics = Sync_d.metrics d in
         let quiesce () = Sync_d.run_to_quiescence d () in
@@ -386,8 +416,7 @@ let msg_complexity ~ns ~delta ~seed =
         in
         { mc_protocol = "sync"; mc_n = n; mc_per_read = per_read; mc_per_write = per_write;
           mc_per_join = per_join }
-      in
-      let es_row =
+    | "es" ->
         let d = Es_d.create cfg (Es_register.default_params ~n) in
         let metrics = Es_d.metrics d in
         let quiesce () = Es_d.run_to_quiescence d () in
@@ -403,8 +432,7 @@ let msg_complexity ~ns ~delta ~seed =
         in
         { mc_protocol = "es"; mc_n = n; mc_per_read = per_read; mc_per_write = per_write;
           mc_per_join = per_join }
-      in
-      let abd_row =
+    | _ ->
         let d = Abd_d.create cfg (Abd_register.default_params ~group_size:n) in
         let metrics = Abd_d.metrics d in
         let quiesce () = Abd_d.run_to_quiescence d () in
@@ -420,9 +448,11 @@ let msg_complexity ~ns ~delta ~seed =
         in
         { mc_protocol = "abd"; mc_n = n; mc_per_read = per_read; mc_per_write = per_write;
           mc_per_join = per_join }
-      in
-      [ sync_row; es_row; abd_row ])
-    ns
+  in
+  let cells =
+    List.concat_map (fun n -> List.map (fun p -> (n, p)) [ "sync"; "es"; "abd" ]) ns
+  in
+  pmap ?pool ~key:(fun (n, p) -> Printf.sprintf "msgs:%s:n=%d" p n) row_for cells
 
 (* ------------------------------------------------------------------ *)
 (* E12 *)
@@ -437,8 +467,9 @@ type tq_row = {
   tq_intersect_rate : float;
 }
 
-let timed_quorum ~n ~cs ~lifetime ~trials ~seed =
-  List.map
+let timed_quorum ?pool ~n ~cs ~lifetime ~trials ~seed () =
+  pmap ?pool
+    ~key:(fun c -> Printf.sprintf "quorum:c=%g" c)
     (fun c ->
       let size = (n / 2) + 1 in
       let held = ref 0 and intersected = ref 0 and survivors_total = ref 0 in
@@ -534,8 +565,12 @@ let sync_probe ~n ~delta ~seed ~horizon c =
   in
   report.Regularity.violations = [] && not stuck
 
-let churn_threshold ~n ~deltas ~seeds ~horizon =
-  List.map
+(* The upward scan inside each cell is adaptive (each probe depends on
+   the previous one passing), so the parallel unit is the delta, not
+   the probe. *)
+let churn_threshold ?pool ~n ~deltas ~seeds ~horizon () =
+  pmap ?pool
+    ~key:(fun delta -> Printf.sprintf "threshold:delta=%d" delta)
     (fun delta ->
       let bound = 1.0 /. (3.0 *. float_of_int delta) in
       let step = bound /. 10.0 in
@@ -569,7 +604,7 @@ type burst_row = {
   br_runs : int;
 }
 
-let bursty_churn ~n ~delta ~seeds ~horizon =
+let bursty_churn ?pool ~n ~delta ~seeds ~horizon () =
   let threshold = 1.0 /. (3.0 *. float_of_int delta) in
   let avg = 0.6 *. threshold in
   (* Same average rate, increasing peakedness: constant; peak at the
@@ -596,44 +631,54 @@ let bursty_churn ~n ~delta ~seeds ~horizon =
        ("peak = 3.2x bound", Churn.Bursty { base; peak; period; burst }, peak));
     ]
   in
+  (* Flattened (profile, seed) grid: the per-profile totals are folded
+     back in canonical order after the cells come home. *)
+  let run_one ((_, profile, _), seed) =
+    let cfg =
+      {
+        (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+           ~churn_rate:avg)
+        with
+        Deployment.churn_profile = Some profile;
+        Deployment.churn_policy = Churn.Active_first;
+      }
+    in
+    let d =
+      Sync_d.create cfg
+        {
+          (Sync_register.default_params ~delta) with
+          Sync_register.on_empty_inquiry = Sync_register.Adopt_bottom;
+        }
+    in
+    Sync_d.start_churn d ~until:(time horizon);
+    Sync_gen.run d
+      { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
+        until = time horizon };
+    Sync_d.run_until d (time (horizon + (4 * delta)));
+    ( List.length (Sync_d.regularity d).Regularity.violations,
+      List.length (List.filter is_join (History.pending (Sync_d.history d))) )
+  in
+  let grid = List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) profiles in
+  let outcomes =
+    pmap ?pool
+      ~key:(fun ((label, _, _), seed) -> Printf.sprintf "burst:%s:seed=%d" label seed)
+      run_one grid
+  in
+  let cells = List.combine grid outcomes in
   List.map
-    (fun (label, profile, peak) ->
-      let violations = ref 0 and stuck = ref 0 in
-      List.iter
-        (fun seed ->
-          let cfg =
-            {
-              (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
-                 ~churn_rate:avg)
-              with
-              Deployment.churn_profile = Some profile;
-              Deployment.churn_policy = Churn.Active_first;
-            }
-          in
-          let d =
-            Sync_d.create cfg
-              {
-                (Sync_register.default_params ~delta) with
-                Sync_register.on_empty_inquiry = Sync_register.Adopt_bottom;
-              }
-          in
-          Sync_d.start_churn d ~until:(time horizon);
-          Sync_gen.run d
-            { Generator.read_rate = 1.0; write_every = 5 * delta; start = time 1;
-              until = time horizon };
-          Sync_d.run_until d (time (horizon + (4 * delta)));
-          violations :=
-            !violations + List.length (Sync_d.regularity d).Regularity.violations;
-          stuck :=
-            !stuck
-            + List.length (List.filter is_join (History.pending (Sync_d.history d))))
-        seeds;
+    (fun (label, _, peak) ->
+      let violations, stuck =
+        List.fold_left
+          (fun (v, s) (((l, _, _), _), (dv, ds)) ->
+            if l <> label then (v, s) else (v + dv, s + ds))
+          (0, 0) cells
+      in
       {
         br_label = label;
         br_avg_c = avg;
         br_peak_c = peak;
-        br_violations = !violations;
-        br_stuck_joins = !stuck;
+        br_violations = violations;
+        br_stuck_joins = stuck;
         br_runs = List.length seeds;
       })
     profiles
@@ -649,19 +694,19 @@ type loss_row = {
   ls_violations : int;
 }
 
-let message_loss ~n ~delta ~losses ~horizon ~seed =
+let message_loss ?pool ~n ~delta ~losses ~horizon ~seed () =
   let gen_cfg =
     { Generator.read_rate = 0.5; write_every = 5 * delta; start = time 1;
       until = time horizon }
   in
-  List.concat_map
-    (fun loss ->
-      let cfg =
-        Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
-          ~churn_rate:0.01
-      in
-      let fault rng (_ : Delay.decision) = Rng.float rng 1.0 < loss in
-      let sync_row =
+  let row_for (loss, protocol) =
+    let cfg =
+      Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta)
+        ~churn_rate:0.01
+    in
+    let fault rng (_ : Delay.decision) = Rng.float rng 1.0 < loss in
+    match protocol with
+    | "sync" ->
         let d = Sync_d.create cfg (Sync_register.default_params ~delta) in
         if loss > 0.0 then
           Network.set_fault (Sync_d.network d) (fault (Rng.create ~seed:(seed + 1)));
@@ -676,8 +721,7 @@ let message_loss ~n ~delta ~losses ~horizon ~seed =
           ls_pending = List.length (History.pending h);
           ls_violations = List.length (Sync_d.regularity d).Regularity.violations;
         }
-      in
-      let es_row =
+    | _ ->
         let d = Es_d.create cfg (Es_register.default_params ~n) in
         if loss > 0.0 then
           Network.set_fault (Es_d.network d) (fault (Rng.create ~seed:(seed + 2)));
@@ -692,9 +736,9 @@ let message_loss ~n ~delta ~losses ~horizon ~seed =
           ls_pending = List.length (History.pending h);
           ls_violations = List.length (Es_d.regularity d).Regularity.violations;
         }
-      in
-      [ sync_row; es_row ])
-    losses
+  in
+  let cells = List.concat_map (fun loss -> [ (loss, "sync"); (loss, "es") ]) losses in
+  pmap ?pool ~key:(fun (loss, p) -> Printf.sprintf "loss:%s:p=%g" p loss) row_for cells
 
 (* ------------------------------------------------------------------ *)
 (* E16 *)
@@ -708,8 +752,8 @@ type join_opt_row = {
   jo_violations : int;
 }
 
-let join_wait_optimization ~n ~delta ~p2ps ~horizon ~seed =
-  let run ~variant ~p2p ~params =
+let join_wait_optimization ?pool ~n ~delta ~p2ps ~horizon ~seed () =
+  let run (variant, p2p, params) =
     let cfg =
       Deployment.default_config ~seed ~n
         ~delay:(Delay.synchronous_split ~broadcast:delta ~p2p)
@@ -732,19 +776,17 @@ let join_wait_optimization ~n ~delta ~p2ps ~horizon ~seed =
       jo_violations = List.length (Sync_d.regularity d).Regularity.violations;
     }
   in
-  let baseline =
-    run ~variant:"wait 2*delta (paper)" ~p2p:delta
-      ~params:(Sync_register.default_params ~delta)
+  let variants =
+    ("wait 2*delta (paper)", delta, Sync_register.default_params ~delta)
+    :: List.map
+         (fun p2p ->
+           ( Printf.sprintf "wait delta+%d (footnote 4)" p2p,
+             p2p,
+             { (Sync_register.default_params ~delta) with Sync_register.p2p_delta = Some p2p }
+           ))
+         p2ps
   in
-  baseline
-  :: List.map
-       (fun p2p ->
-         run
-           ~variant:(Printf.sprintf "wait delta+%d (footnote 4)" p2p)
-           ~p2p
-           ~params:
-             { (Sync_register.default_params ~delta) with Sync_register.p2p_delta = Some p2p })
-       p2ps
+  pmap ?pool ~key:(fun (variant, _, _) -> "join:" ^ variant) run variants
 
 (* ------------------------------------------------------------------ *)
 (* E17 *)
@@ -757,13 +799,13 @@ type broadcast_row = {
   bc_transmissions : int;
 }
 
-let broadcast_robustness ~n ~losses ~horizon ~seed =
+let broadcast_robustness ?pool ~n ~losses ~horizon ~seed () =
   (* Per-hop bound 2, flooding depth 2: the protocol-level delta is
      depth * hop = 4 in both modes so runs are comparable. *)
   let hop = 2 in
   let depth = 2 in
   let delta = depth * hop in
-  let run ~mode ~mode_name ~loss =
+  let run (loss, mode, mode_name) =
     let cfg =
       {
         (Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:hop)
@@ -791,13 +833,16 @@ let broadcast_robustness ~n ~losses ~horizon ~seed =
       bc_transmissions = transmissions metrics;
     }
   in
-  List.concat_map
-    (fun loss ->
-      [
-        run ~mode:Network.Primitive ~mode_name:"primitive" ~loss;
-        run ~mode:(Network.Flooding { relay_depth = depth }) ~mode_name:"flooding" ~loss;
-      ])
-    losses
+  let cells =
+    List.concat_map
+      (fun loss ->
+        [
+          (loss, Network.Primitive, "primitive");
+          (loss, Network.Flooding { relay_depth = depth }, "flooding");
+        ])
+      losses
+  in
+  pmap ?pool ~key:(fun (loss, _, name) -> Printf.sprintf "bcast:%s:loss=%g" name loss) run cells
 
 (* ------------------------------------------------------------------ *)
 (* E18 *)
@@ -813,7 +858,7 @@ type consensus_row = {
   cn_validity : bool;
 }
 
-let consensus_under_churn ~n ~k ~cs ~horizon ~seed =
+let consensus_under_churn ?pool ~n ~k ~cs ~horizon ~seed () =
   let open Dds_alpha in
   let run ~c ~protected_participants =
     (* Participants are the first k founders; protection (when on)
@@ -842,8 +887,14 @@ let consensus_under_churn ~n ~k ~cs ~horizon ~seed =
       cn_validity = Consensus.validity_ok cons;
     }
   in
-  List.map (fun c -> run ~c ~protected_participants:true) cs
-  @ [ run ~c:(List.fold_left Float.max 0.0 cs) ~protected_participants:false ]
+  let cells =
+    List.map (fun c -> (c, true)) cs
+    @ [ (List.fold_left Float.max 0.0 cs, false) ]
+  in
+  pmap ?pool
+    ~key:(fun (c, prot) -> Printf.sprintf "consensus:c=%g:protected=%b" c prot)
+    (fun (c, protected_participants) -> run ~c ~protected_participants)
+    cells
 
 (* ------------------------------------------------------------------ *)
 (* E19 *)
@@ -858,8 +909,9 @@ type geo_row = {
   geo_violations : int;
 }
 
-let geo_speed ~speeds ~horizon ~seed =
-  List.map
+let geo_speed ?pool ~speeds ~horizon ~seed () =
+  pmap ?pool
+    ~key:(fun speed -> Printf.sprintf "geo:speed=%g" speed)
     (fun speed ->
       let open Dds_geo in
       let cfg = Zone_world.default_config ~seed ~speed in
@@ -892,8 +944,9 @@ type quorum_row = {
   qa_inversions : int;
 }
 
-let quorum_ablation ?(loss = 0.0) ~n ~quorums ~c ~horizon ~seed () =
-  List.map
+let quorum_ablation ?(loss = 0.0) ?pool ~n ~quorums ~c ~horizon ~seed () =
+  pmap ?pool
+    ~key:(fun quorum -> Printf.sprintf "ablate:q=%d" quorum)
     (fun quorum ->
       let cfg =
         Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:3)
@@ -933,8 +986,8 @@ type repair_row = {
   rp_violations : int;
 }
 
-let read_repair_ablation ~n ~horizon ~seed =
-  let run ~read_repair =
+let read_repair_ablation ?pool ~n ~horizon ~seed () =
+  let run read_repair =
     let scenario = Scenario.es_inversion ~read_repair () in
     let cfg =
       Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta:3)
@@ -956,7 +1009,9 @@ let read_repair_ablation ~n ~horizon ~seed =
       rp_violations = List.length (Es_d.regularity d).Regularity.violations;
     }
   in
-  [ run ~read_repair:false; run ~read_repair:true ]
+  pmap ?pool
+    ~key:(fun rr -> Printf.sprintf "repair:on=%b" rr)
+    run [ false; true ]
 
 (* ------------------------------------------------------------------ *)
 (* E22 *)
@@ -969,8 +1024,9 @@ type calibration_row = {
   cb_joins : int;
 }
 
-let delta_calibration ~n ~actual ~believed ~horizon ~seed =
-  List.map
+let delta_calibration ?pool ~n ~actual ~believed ~horizon ~seed () =
+  pmap ?pool
+    ~key:(fun believed_delta -> Printf.sprintf "calib:believed=%d" believed_delta)
     (fun believed_delta ->
       let cfg =
         Deployment.default_config ~seed ~n
@@ -1006,7 +1062,7 @@ type session_row = {
   ss_min_window : int;  (** min |A(tau, tau+3delta)| *)
 }
 
-let session_models ~n ~delta ~mean ~horizon ~seed =
+let session_models ?pool ~n ~delta ~mean ~horizon ~seed () =
   let threshold_window d =
     let analysis = Analysis.of_records (Membership.records (Sync_d.membership d)) in
     snd
@@ -1037,7 +1093,7 @@ let session_models ~n ~delta ~mean ~horizon ~seed =
       ss_min_window = threshold_window d;
     }
   in
-  let constant_row =
+  let constant_row () =
     let c = 1.0 /. mean in
     let cfg =
       Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:c
@@ -1066,17 +1122,26 @@ let session_models ~n ~delta ~mean ~horizon ~seed =
     Sync_d.run_until d (time (horizon + (4 * delta)));
     finish ~model ~measured:(Session_churn.measured_rate engine ~n) d
   in
-  [
-    constant_row;
-    session_row ~model:"fixed sessions (synchronized)"
-      ~distribution:(Session_churn.Fixed (int_of_float mean));
-    session_row ~model:"geometric sessions (memoryless)"
-      ~distribution:(Session_churn.Geometric mean);
-    (let alpha = 1.5 in
-     let xmin = mean *. (alpha -. 1.0) /. alpha in
-     session_row ~model:"pareto sessions (heavy tail)"
-       ~distribution:(Session_churn.Pareto { alpha; xmin }));
-  ]
+  let variants =
+    [
+      ("constant rate (paper)", constant_row);
+      ( "fixed sessions (synchronized)",
+        fun () ->
+          session_row ~model:"fixed sessions (synchronized)"
+            ~distribution:(Session_churn.Fixed (int_of_float mean)) );
+      ( "geometric sessions (memoryless)",
+        fun () ->
+          session_row ~model:"geometric sessions (memoryless)"
+            ~distribution:(Session_churn.Geometric mean) );
+      ( "pareto sessions (heavy tail)",
+        fun () ->
+          let alpha = 1.5 in
+          let xmin = mean *. (alpha -. 1.0) /. alpha in
+          session_row ~model:"pareto sessions (heavy tail)"
+            ~distribution:(Session_churn.Pareto { alpha; xmin }) );
+    ]
+  in
+  pmap ?pool ~key:(fun (name, _) -> "session:" ^ name) (fun (_, f) -> f ()) variants
 
 (* ------------------------------------------------------------------ *)
 (* E24 *)
@@ -1093,7 +1158,7 @@ type nemesis_row = {
 module Sync_fh = Dds_fault.Harness.Make (Sync_d)
 module Es_fh = Dds_fault.Harness.Make (Es_d)
 
-let nemesis_matrix ~n ~delta ~horizon ~seed =
+let nemesis_matrix ?pool ~n ~delta ~horizon ~seed () =
   (* The monitor each protocol's theorem calls for; inversions stay
      off because sync/es only promise regularity. *)
   let base = Dds_monitor.Monitor.default ~n ~delta in
@@ -1138,25 +1203,27 @@ let nemesis_matrix ~n ~delta ~horizon ~seed =
   let cfg =
     Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:0.0
   in
-  List.concat_map
-    (fun (profile, plan) ->
-      let row protocol (o : Hunt.outcome) =
-        {
-          nm_plan = Nemesis.to_string plan;
-          nm_profile = profile;
-          nm_protocol = protocol;
-          nm_injected = o.Hunt.injected;
-          nm_findings = List.length o.Hunt.violations;
-          nm_flagged = o.Hunt.violations <> [];
-        }
-      in
-      let sync_row =
-        let spec = Harness.default_spec ~monitor:sync_mon ~horizon ~drain:(20 * delta) () in
-        row "sync" (Sync_fh.run cfg (Sync_register.default_params ~delta) spec plan)
-      in
-      let es_row =
-        let spec = Harness.default_spec ~monitor:es_mon ~horizon ~drain:(20 * delta) () in
-        row "es" (Es_fh.run cfg (Es_register.default_params ~n) spec plan)
-      in
-      [ sync_row; es_row ])
-    plans
+  let cell ((profile, plan), protocol) =
+    let row (o : Hunt.outcome) =
+      {
+        nm_plan = Nemesis.to_string plan;
+        nm_profile = profile;
+        nm_protocol = protocol;
+        nm_injected = o.Hunt.injected;
+        nm_findings = List.length o.Hunt.violations;
+        nm_flagged = o.Hunt.violations <> [];
+      }
+    in
+    match protocol with
+    | "sync" ->
+      let spec = Harness.default_spec ~monitor:sync_mon ~horizon ~drain:(20 * delta) () in
+      row (Sync_fh.run cfg (Sync_register.default_params ~delta) spec plan)
+    | _ ->
+      let spec = Harness.default_spec ~monitor:es_mon ~horizon ~drain:(20 * delta) () in
+      row (Es_fh.run cfg (Es_register.default_params ~n) spec plan)
+  in
+  let cells = List.concat_map (fun p -> [ (p, "sync"); (p, "es") ]) plans in
+  pmap ?pool
+    ~key:(fun ((_, plan), protocol) ->
+      Printf.sprintf "nemesis:%s:%s" protocol (Nemesis.to_string plan))
+    cell cells

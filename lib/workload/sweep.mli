@@ -2,10 +2,16 @@ open Dds_sim
 
 (** Parameter-sweep experiment runners.
 
-    One function per experiment of the DESIGN.md index (E4-E23). Each
+    One function per experiment of the DESIGN.md index (E4-E24). Each
     returns typed rows; {!Tables} renders them, the bench harness
     prints them, and EXPERIMENTS.md quotes them. All runners are
-    deterministic in their [seed]/[seeds] arguments. *)
+    deterministic in their [seed]/[seeds] arguments.
+
+    Every multi-cell runner takes [?pool]: given a
+    {!Dds_engine.Pool.t}, its independent (seed, params) cells run as
+    engine jobs and the rows come back in canonical submission order,
+    so the output is byte-identical to the sequential run for any
+    worker count. Without a pool the cells run inline. *)
 
 (** {1 E4 — Lemma 2's continuously-active-set bound} *)
 
@@ -18,7 +24,14 @@ type lemma2_row = {
 }
 
 val lemma2 :
-  n:int -> delta:int -> ratios:float list -> horizon:int -> seed:int -> lemma2_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  ratios:float list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  lemma2_row list
 (** Full synchronous-protocol deployments (joins take up to 3 delta,
     so the steady-state active set sits {e below} n) under adversarial
     Active_first churn at [ratio / (3 delta)] each. *)
@@ -37,6 +50,7 @@ type safety_row = {
 
 val sync_safety :
   ?on_empty:Dds_core.Sync_register.empty_inquiry_behavior ->
+  ?pool:Dds_engine.Pool.t ->
   n:int ->
   delta:int ->
   ratios:float list ->
@@ -75,7 +89,7 @@ type async_row = {
   as_mean_staleness : float;
 }
 
-val async_series : horizons:int list -> async_row list
+val async_series : ?pool:Dds_engine.Pool.t -> horizons:int list -> unit -> async_row list
 
 (** {1 E9 — ES liveness at the majority boundary} *)
 
@@ -89,7 +103,14 @@ type boundary_row = {
   bd_violations : int;
 }
 
-val es_boundary : n:int -> rates:float list -> horizon:int -> seed:int -> boundary_row list
+val es_boundary :
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  rates:float list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  boundary_row list
 
 (** {1 E10 — static ABD vs the dynamic protocols under churn} *)
 
@@ -102,7 +123,15 @@ type versus_row = {
   vs_founders_alive_at_end : int;
 }
 
-val abd_vs_dynamic : n:int -> delta:int -> c:float -> horizon:int -> seed:int -> versus_row list
+val abd_vs_dynamic :
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  c:float ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  versus_row list
 
 (** {1 E11 — message complexity} *)
 
@@ -114,7 +143,8 @@ type msg_row = {
   mc_per_join : float;
 }
 
-val msg_complexity : ns:int list -> delta:int -> seed:int -> msg_row list
+val msg_complexity :
+  ?pool:Dds_engine.Pool.t -> ns:int list -> delta:int -> seed:int -> unit -> msg_row list
 
 (** {1 E12 — timed quorums (Section 7 future work)} *)
 
@@ -129,7 +159,14 @@ type tq_row = {
 }
 
 val timed_quorum :
-  n:int -> cs:float list -> lifetime:int -> trials:int -> seed:int -> tq_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  cs:float list ->
+  lifetime:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  tq_row list
 
 (** {1 E13 — the greatest tolerable churn (Section 7's open question)} *)
 
@@ -144,7 +181,13 @@ type threshold_row = {
 }
 
 val churn_threshold :
-  n:int -> deltas:int list -> seeds:int list -> horizon:int -> threshold_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  deltas:int list ->
+  seeds:int list ->
+  horizon:int ->
+  unit ->
+  threshold_row list
 (** Scans c upward (paper-literal adopt-bottom joins, adversarial
     Active_first departures) until a safety violation or a stuck join
     appears, per delta. Answers the paper's "can the greatest value of
@@ -163,7 +206,13 @@ type burst_row = {
 }
 
 val bursty_churn :
-  n:int -> delta:int -> seeds:int list -> horizon:int -> burst_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  seeds:int list ->
+  horizon:int ->
+  unit ->
+  burst_row list
 (** Profiles with the same average rate but increasing peakedness; the
     paper's bound constrains the {e constant} rate, and bursts whose
     peak exceeds the threshold break the protocol even when the
@@ -180,7 +229,14 @@ type loss_row = {
 }
 
 val message_loss :
-  n:int -> delta:int -> losses:float list -> horizon:int -> seed:int -> loss_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  losses:float list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  loss_row list
 (** Fault injection: each message is independently dropped with the
     given probability. The sync protocol's timer-based waits keep
     "succeeding" and safety erodes; the quorum-based ES protocol loses
@@ -200,7 +256,14 @@ type join_opt_row = {
 }
 
 val join_wait_optimization :
-  n:int -> delta:int -> p2ps:int list -> horizon:int -> seed:int -> join_opt_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  p2ps:int list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  join_opt_row list
 (** Runs the synchronous protocol over a split-bound network
     ({!Dds_net.Delay.synchronous_split}) with the inquiry wait
     shortened to [delta + delta'], against the unoptimized [2 delta]
@@ -217,7 +280,13 @@ type broadcast_row = {
 }
 
 val broadcast_robustness :
-  n:int -> losses:float list -> horizon:int -> seed:int -> broadcast_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  losses:float list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  broadcast_row list
 (** The synchronous register over the postulated one-shot broadcast vs
     the flooding implementation ({!Dds_net.Network.broadcast_mode}),
     with the per-message fault injector sweeping link-loss rates. Same
@@ -237,7 +306,14 @@ type consensus_row = {
 }
 
 val consensus_under_churn :
-  n:int -> k:int -> cs:float list -> horizon:int -> seed:int -> consensus_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  k:int ->
+  cs:float list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  consensus_row list
 (** Omega + alpha over the dynamic register array: one consensus
     instance per churn rate with protected participants, plus a final
     unprotected run at the highest rate (leaders then crash
@@ -255,7 +331,13 @@ type geo_row = {
   geo_violations : int;
 }
 
-val geo_speed : speeds:float list -> horizon:int -> seed:int -> geo_row list
+val geo_speed :
+  ?pool:Dds_engine.Pool.t ->
+  speeds:float list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  geo_row list
 (** Random-waypoint walkers crossing a radio zone that hosts the
     synchronous register: zone crossings are the joins/leaves, so the
     churn rate is an emergent function of speed. Below the threshold
@@ -275,6 +357,7 @@ type quorum_row = {
 
 val quorum_ablation :
   ?loss:float ->
+  ?pool:Dds_engine.Pool.t ->
   n:int ->
   quorums:int list ->
   c:float ->
@@ -300,7 +383,8 @@ type repair_row = {
   rp_violations : int;
 }
 
-val read_repair_ablation : n:int -> horizon:int -> seed:int -> repair_row list
+val read_repair_ablation :
+  ?pool:Dds_engine.Pool.t -> n:int -> horizon:int -> seed:int -> unit -> repair_row list
 (** The ES register with and without {!Dds_core.Es_register.params}'
     [read_repair]: the constructed inversion must vanish, randomized
     runs stay inversion-free, and the price is one extra round trip
@@ -318,7 +402,14 @@ type calibration_row = {
 }
 
 val delta_calibration :
-  n:int -> actual:int -> believed:int list -> horizon:int -> seed:int -> calibration_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  actual:int ->
+  believed:int list ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  calibration_row list
 (** The synchronous protocol run with a wrong belief about delta.
     Underestimating it re-creates the asynchronous impossibility in
     miniature (waits expire before evidence arrives: stale joins and
@@ -339,7 +430,14 @@ type session_row = {
 }
 
 val session_models :
-  n:int -> delta:int -> mean:float -> horizon:int -> seed:int -> session_row list
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  mean:float ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  session_row list
 (** The synchronous register (paper-literal joins) under four churn
     processes with the same average rate: the paper's constant-rate
     refresh, and three session-lifetime models after Ko et al. [19] —
@@ -357,7 +455,14 @@ type nemesis_row = {
   nm_flagged : bool;
 }
 
-val nemesis_matrix : n:int -> delta:int -> horizon:int -> seed:int -> nemesis_row list
+val nemesis_matrix :
+  ?pool:Dds_engine.Pool.t ->
+  n:int ->
+  delta:int ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  nemesis_row list
 (** Six fixed nemesis plans (duplicates, minority crash-with-recovery,
     single-process storm; one-way majority partition, over-delta
     delay, majority crash) against the sync and es registers, each run

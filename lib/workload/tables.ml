@@ -521,6 +521,24 @@ let session_models ~n ~delta rows =
          ])
        rows)
 
+type scaling_row = { sc_jobs : int; sc_wall_s : float; sc_speedup : float }
+
+let engine_scaling ~case rows =
+  Report.make
+    ~title:(Printf.sprintf "engine — worker scaling on %s" case)
+    ~headers:[ "jobs"; "wall s"; "speedup" ]
+    ~notes:
+      [
+        "The same sweep submitted through the engine at increasing worker";
+        "counts. Output is byte-identical at every worker count (canonical-";
+        "order aggregation); only the wall clock moves. Speedup is relative";
+        "to jobs=1 and is bounded by the host's cores and the longest cell.";
+      ]
+    (List.map
+       (fun r ->
+         [ fint r.sc_jobs; ffloat ~decimals:2 r.sc_wall_s; ffloat r.sc_speedup ])
+       rows)
+
 let nemesis_matrix ~n ~delta rows =
   Report.make
     ~title:

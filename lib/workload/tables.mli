@@ -47,3 +47,15 @@ val delta_calibration : n:int -> actual:int -> Sweep.calibration_row list -> Rep
 val session_models : n:int -> delta:int -> Sweep.session_row list -> Report.t
 
 val nemesis_matrix : n:int -> delta:int -> Sweep.nemesis_row list -> Report.t
+
+(** {1 Engine scaling (bench)} *)
+
+type scaling_row = {
+  sc_jobs : int;  (** worker count the sweep ran with *)
+  sc_wall_s : float;
+  sc_speedup : float;  (** wall(jobs=1) / wall(this row) *)
+}
+
+val engine_scaling : case:string -> scaling_row list -> Report.t
+(** One representative sweep timed at increasing [--jobs]; the rows
+    land in BENCH_results.json. *)

@@ -79,7 +79,7 @@ let test_report_rendering () =
 (* Experiment runners: small-parameter smoke tests asserting shape *)
 
 let test_lemma2_shape () =
-  let rows = Sweep.lemma2 ~n:20 ~delta:2 ~ratios:[ 0.3; 0.8 ] ~horizon:200 ~seed:1 in
+  let rows = Sweep.lemma2 ~n:20 ~delta:2 ~ratios:[ 0.3; 0.8 ] ~horizon:200 ~seed:1 () in
   check_int "two rows" 2 (List.length rows);
   List.iter
     (fun (r : Sweep.lemma2_row) ->
@@ -116,14 +116,14 @@ let test_sync_latency_bounds () =
     rows
 
 let test_async_series_monotone () =
-  let rows = Sweep.async_series ~horizons:[ 300; 900 ] in
+  let rows = Sweep.async_series ~horizons:[ 300; 900 ] () in
   match rows with
   | [ a; b ] ->
     check_bool "staleness grows" true (b.Sweep.as_max_staleness > a.Sweep.as_max_staleness)
   | _ -> Alcotest.fail "expected two rows"
 
 let test_es_boundary_fail_safe () =
-  let rows = Sweep.es_boundary ~n:8 ~rates:[ 0.0; 0.2 ] ~horizon:300 ~seed:4 in
+  let rows = Sweep.es_boundary ~n:8 ~rates:[ 0.0; 0.2 ] ~horizon:300 ~seed:4 () in
   match rows with
   | [ calm; storm ] ->
     check_int "no violations calm" 0 calm.Sweep.bd_violations;
@@ -133,7 +133,7 @@ let test_es_boundary_fail_safe () =
   | _ -> Alcotest.fail "expected two rows"
 
 let test_abd_versus_shape () =
-  let rows = Sweep.abd_vs_dynamic ~n:12 ~delta:3 ~c:0.03 ~horizon:600 ~seed:5 in
+  let rows = Sweep.abd_vs_dynamic ~n:12 ~delta:3 ~c:0.03 ~horizon:600 ~seed:5 () in
   let find p = List.find (fun (r : Sweep.versus_row) -> r.Sweep.vs_protocol = p) rows in
   let abd = find "abd" and sync = find "sync" and es = find "es" in
   check_bool "abd freezes early" true
@@ -145,7 +145,7 @@ let test_abd_versus_shape () =
     (abd.Sweep.vs_violations + sync.Sweep.vs_violations + es.Sweep.vs_violations)
 
 let test_msg_complexity_formulas () =
-  let rows = Sweep.msg_complexity ~ns:[ 10 ] ~delta:3 ~seed:6 in
+  let rows = Sweep.msg_complexity ~ns:[ 10 ] ~delta:3 ~seed:6 () in
   let find p = List.find (fun (r : Sweep.msg_row) -> r.Sweep.mc_protocol = p) rows in
   let sync = find "sync" in
   (* Fast reads cost nothing; a write is one broadcast = n transmissions. *)
@@ -158,7 +158,7 @@ let test_msg_complexity_formulas () =
     (es.Sweep.mc_per_write > es.Sweep.mc_per_read)
 
 let test_timed_quorum_decay_shape () =
-  let rows = Sweep.timed_quorum ~n:20 ~cs:[ 0.01; 0.1 ] ~lifetime:15 ~trials:100 ~seed:7 in
+  let rows = Sweep.timed_quorum ~n:20 ~cs:[ 0.01; 0.1 ] ~lifetime:15 ~trials:100 ~seed:7 () in
   match rows with
   | [ slow; fast ] ->
     check_bool "hold rate decreases with churn" true
@@ -169,7 +169,7 @@ let test_timed_quorum_decay_shape () =
   | _ -> Alcotest.fail "expected two rows"
 
 let test_churn_threshold_sanity () =
-  let rows = Sweep.churn_threshold ~n:16 ~deltas:[ 2 ] ~seeds:[ 1; 2 ] ~horizon:200 in
+  let rows = Sweep.churn_threshold ~n:16 ~deltas:[ 2 ] ~seeds:[ 1; 2 ] ~horizon:200 () in
   match rows with
   | [ r ] ->
     check_bool "empirical threshold positive" true (r.Sweep.th_empirical > 0.0);
@@ -178,7 +178,7 @@ let test_churn_threshold_sanity () =
   | _ -> Alcotest.fail "expected one row"
 
 let test_bursty_churn_shape () =
-  let rows = Sweep.bursty_churn ~n:20 ~delta:3 ~seeds:[ 1; 2; 3 ] ~horizon:400 in
+  let rows = Sweep.bursty_churn ~n:20 ~delta:3 ~seeds:[ 1; 2; 3 ] ~horizon:400 () in
   (match rows with
   | constant :: _ ->
     check_int "constant profile at 0.6x bound is clean" 0 constant.Sweep.br_violations
@@ -188,7 +188,7 @@ let test_bursty_churn_shape () =
     (worst.Sweep.br_violations + worst.Sweep.br_stuck_joins > 0)
 
 let test_message_loss_shape () =
-  let rows = Sweep.message_loss ~n:10 ~delta:3 ~losses:[ 0.0; 0.25 ] ~horizon:300 ~seed:8 in
+  let rows = Sweep.message_loss ~n:10 ~delta:3 ~losses:[ 0.0; 0.25 ] ~horizon:300 ~seed:8 () in
   let get proto loss =
     List.find
       (fun (r : Sweep.loss_row) -> r.Sweep.ls_protocol = proto && r.Sweep.ls_loss = loss)
@@ -203,7 +203,7 @@ let test_message_loss_shape () =
     (es_lossy.Sweep.ls_completed < (get "es" 0.0).Sweep.ls_completed)
 
 let test_geo_speed_shape () =
-  let rows = Sweep.geo_speed ~speeds:[ 1.0; 16.0 ] ~horizon:400 ~seed:5 in
+  let rows = Sweep.geo_speed ~speeds:[ 1.0; 16.0 ] ~horizon:400 ~seed:5 () in
   match rows with
   | [ slow; fast ] ->
     check_bool "churn grows with speed" true (fast.Sweep.geo_churn > slow.Sweep.geo_churn);
@@ -225,7 +225,7 @@ let test_quorum_ablation_shape () =
   | _ -> Alcotest.fail "expected two rows"
 
 let test_session_models_shape () =
-  let rows = Sweep.session_models ~n:20 ~delta:3 ~mean:15.0 ~horizon:600 ~seed:59 in
+  let rows = Sweep.session_models ~n:20 ~delta:3 ~mean:15.0 ~horizon:600 ~seed:59 () in
   let find prefix =
     List.find
       (fun (r : Sweep.session_row) ->
@@ -241,7 +241,7 @@ let test_session_models_shape () =
 
 let test_delta_calibration_shape () =
   let rows =
-    Sweep.delta_calibration ~n:15 ~actual:6 ~believed:[ 3; 6; 10 ] ~horizon:500 ~seed:53
+    Sweep.delta_calibration ~n:15 ~actual:6 ~believed:[ 3; 6; 10 ] ~horizon:500 ~seed:53 ()
   in
   match rows with
   | [ under; exact; over ] ->
@@ -252,7 +252,7 @@ let test_delta_calibration_shape () =
   | _ -> Alcotest.fail "expected three rows"
 
 let test_join_wait_optimization_shape () =
-  let rows = Sweep.join_wait_optimization ~n:12 ~delta:6 ~p2ps:[ 1 ] ~horizon:400 ~seed:9 in
+  let rows = Sweep.join_wait_optimization ~n:12 ~delta:6 ~p2ps:[ 1 ] ~horizon:400 ~seed:9 () in
   match rows with
   | [ baseline; optimized ] ->
     check_bool "optimized joins faster" true
@@ -275,53 +275,53 @@ let test_tables_column_consistency () =
     (Tables.fig3 (Scenario.fig3 ~join_wait:false) (Scenario.fig3 ~join_wait:true));
   check_table "lemma2"
     (Tables.lemma2 ~n:20 ~delta:2
-       (Sweep.lemma2 ~n:20 ~delta:2 ~ratios:[ 0.5 ] ~horizon:100 ~seed:1));
+       (Sweep.lemma2 ~n:20 ~delta:2 ~ratios:[ 0.5 ] ~horizon:100 ~seed:1 ()));
   check_table "sync_safety"
     (Tables.sync_safety ~n:10 ~delta:3 ~variant:"x"
        (Sweep.sync_safety ~n:10 ~delta:3 ~ratios:[ 0.5 ] ~seeds:[ 1 ] ~horizon:100 ()));
   check_table "latency"
     (Tables.latency ~title:"t" (Sweep.sync_latency ~n:10 ~delta:3 ~c:0.0 ~horizon:100 ~seed:1));
-  check_table "async" (Tables.async_impossibility (Sweep.async_series ~horizons:[ 100 ]));
+  check_table "async" (Tables.async_impossibility (Sweep.async_series ~horizons:[ 100 ] ()));
   check_table "boundary"
-    (Tables.es_boundary ~n:8 (Sweep.es_boundary ~n:8 ~rates:[ 0.0 ] ~horizon:100 ~seed:1));
+    (Tables.es_boundary ~n:8 (Sweep.es_boundary ~n:8 ~rates:[ 0.0 ] ~horizon:100 ~seed:1 ()));
   check_table "versus"
     (Tables.abd_vs_dynamic ~n:8 ~c:0.02 ~horizon:200
-       (Sweep.abd_vs_dynamic ~n:8 ~delta:3 ~c:0.02 ~horizon:200 ~seed:1));
-  check_table "msgs" (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 8 ] ~delta:3 ~seed:1));
+       (Sweep.abd_vs_dynamic ~n:8 ~delta:3 ~c:0.02 ~horizon:200 ~seed:1 ()));
+  check_table "msgs" (Tables.msg_complexity (Sweep.msg_complexity ~ns:[ 8 ] ~delta:3 ~seed:1 ()));
   check_table "timed quorum"
     (Tables.timed_quorum ~n:10
-       (Sweep.timed_quorum ~n:10 ~cs:[ 0.02 ] ~lifetime:10 ~trials:20 ~seed:1));
+       (Sweep.timed_quorum ~n:10 ~cs:[ 0.02 ] ~lifetime:10 ~trials:20 ~seed:1 ()));
   check_table "threshold"
     (Tables.churn_threshold ~n:12
-       (Sweep.churn_threshold ~n:12 ~deltas:[ 2 ] ~seeds:[ 1 ] ~horizon:100));
+       (Sweep.churn_threshold ~n:12 ~deltas:[ 2 ] ~seeds:[ 1 ] ~horizon:100 ()));
   check_table "bursty"
     (Tables.bursty_churn ~n:12 ~delta:3
-       (Sweep.bursty_churn ~n:12 ~delta:3 ~seeds:[ 1 ] ~horizon:150));
+       (Sweep.bursty_churn ~n:12 ~delta:3 ~seeds:[ 1 ] ~horizon:150 ()));
   check_table "loss"
     (Tables.message_loss ~n:8
-       (Sweep.message_loss ~n:8 ~delta:3 ~losses:[ 0.0 ] ~horizon:100 ~seed:1));
+       (Sweep.message_loss ~n:8 ~delta:3 ~losses:[ 0.0 ] ~horizon:100 ~seed:1 ()));
   check_table "joinopt"
     (Tables.join_wait_optimization ~n:8 ~delta:4
-       (Sweep.join_wait_optimization ~n:8 ~delta:4 ~p2ps:[ 1 ] ~horizon:150 ~seed:1));
+       (Sweep.join_wait_optimization ~n:8 ~delta:4 ~p2ps:[ 1 ] ~horizon:150 ~seed:1 ()));
   check_table "broadcast"
     (Tables.broadcast_robustness ~n:8
-       (Sweep.broadcast_robustness ~n:8 ~losses:[ 0.0 ] ~horizon:100 ~seed:1));
+       (Sweep.broadcast_robustness ~n:8 ~losses:[ 0.0 ] ~horizon:100 ~seed:1 ()));
   check_table "consensus"
     (Tables.consensus ~n:6 ~k:2
-       (Sweep.consensus_under_churn ~n:6 ~k:2 ~cs:[ 0.0 ] ~horizon:200 ~seed:1));
+       (Sweep.consensus_under_churn ~n:6 ~k:2 ~cs:[ 0.0 ] ~horizon:200 ~seed:1 ()));
   check_table "geo"
-    (Tables.geo_speed ~delta:3 (Sweep.geo_speed ~speeds:[ 1.0 ] ~horizon:150 ~seed:1));
+    (Tables.geo_speed ~delta:3 (Sweep.geo_speed ~speeds:[ 1.0 ] ~horizon:150 ~seed:1 ()));
   check_table "quorum ablation"
     (Tables.quorum_ablation ~n:8 ~c:0.0 ~loss:0.0
        (Sweep.quorum_ablation ~n:8 ~quorums:[ 5 ] ~c:0.0 ~horizon:150 ~seed:1 ()));
   check_table "read repair"
-    (Tables.read_repair ~n:8 (Sweep.read_repair_ablation ~n:8 ~horizon:150 ~seed:1));
+    (Tables.read_repair ~n:8 (Sweep.read_repair_ablation ~n:8 ~horizon:150 ~seed:1 ()));
   check_table "calibration"
     (Tables.delta_calibration ~n:8 ~actual:4
-       (Sweep.delta_calibration ~n:8 ~actual:4 ~believed:[ 4 ] ~horizon:150 ~seed:1));
+       (Sweep.delta_calibration ~n:8 ~actual:4 ~believed:[ 4 ] ~horizon:150 ~seed:1 ()));
   check_table "sessions"
     (Tables.session_models ~n:10 ~delta:3
-       (Sweep.session_models ~n:10 ~delta:3 ~mean:20.0 ~horizon:200 ~seed:1))
+       (Sweep.session_models ~n:10 ~delta:3 ~mean:20.0 ~horizon:200 ~seed:1 ()))
 
 let () =
   Alcotest.run "dds_workload"
