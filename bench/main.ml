@@ -226,6 +226,76 @@ let run_tables ~pool () =
   (List.rev !acc, scaling)
 
 (* ------------------------------------------------------------------ *)
+(* Explorer throughput *)
+
+(* The dds check explorer on its canonical seeded-bug configuration
+   (3-node ES with the quorum mutated to 1 and one droppable message):
+   wall time and schedules/sec at 1, 2 and 4 workers with the
+   reductions on, plus the same exploration with sleep sets and the
+   state cache disabled — the explored count is worker-independent, so
+   the jobs rows differ only in wall clock, and the naive row prices
+   what the reductions save. *)
+type checker_row = {
+  ck_label : string;
+  ck_jobs : int;
+  ck_naive : bool;
+  ck_schedules : int;
+  ck_wall_s : float;
+  ck_per_s : float;
+}
+
+let run_checker_rows () =
+  let p = Protocol.find_exn "es" in
+  let cfg =
+    {
+      Dds_check.Schedule.proto = "es";
+      nodes = 3;
+      delta = 1;
+      writes = 1;
+      reads = 1;
+      joins = 0;
+      quorum = Some 1;
+      drop_budget = 1;
+      crash_budget = 0;
+      depth_bound = 20;
+      preempt_bound = 2;
+    }
+  in
+  let time ~naive jobs =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Dds_engine.Pool.with_pool ~jobs (fun pool ->
+          Dds_check.Check.run ~pool ~por:(not naive) ~state_cache:(not naive) p cfg)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    match outcome with
+    | Error e -> failwith e
+    | Ok o ->
+      let n = o.Dds_check.Check.stats.Dds_check.Check.schedules in
+      {
+        ck_label = (if naive then "naive DFS" else "sleep sets + state cache");
+        ck_jobs = jobs;
+        ck_naive = naive;
+        ck_schedules = n;
+        ck_wall_s = wall;
+        ck_per_s = (if wall > 0. then float_of_int n /. wall else 0.);
+      }
+  in
+  let rows =
+    List.map (fun j -> time ~naive:false j) [ 1; 2; 4 ] @ [ time ~naive:true 1 ]
+  in
+  Format.printf
+    "@.#### Explorer throughput (check es, quorum=1, 1 drop, depth 20) ####@.@.";
+  Format.printf "  %-26s %4s %10s %8s %12s@." "mode" "jobs" "schedules" "wall s"
+    "schedules/s";
+  List.iter
+    (fun r ->
+      Format.printf "  %-26s %4d %10d %8.3f %12.0f@." r.ck_label r.ck_jobs r.ck_schedules
+        r.ck_wall_s r.ck_per_s)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel benchmarks *)
 
 module Sim_time = Dds_sim.Time
@@ -476,7 +546,7 @@ let bench_estimates results =
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let write_results_json ~tables ~scaling ~estimates =
+let write_results_json ~tables ~scaling ~checker ~estimates =
   let module J = Dds_sim.Json in
   let json =
     J.Obj
@@ -498,6 +568,20 @@ let write_results_json ~tables ~scaling ~estimates =
                      ("speedup", J.Float r.Tables.sc_speedup);
                    ])
                scaling) );
+        ( "checker",
+          J.List
+            (List.map
+               (fun r ->
+                 J.Obj
+                   [
+                     ("mode", J.String r.ck_label);
+                     ("jobs", J.Int r.ck_jobs);
+                     ("naive", J.Bool r.ck_naive);
+                     ("schedules", J.Int r.ck_schedules);
+                     ("wall_s", J.Float r.ck_wall_s);
+                     ("schedules_per_s", J.Float r.ck_per_s);
+                   ])
+               checker) );
         ("tables", J.List (List.map Report.to_json tables));
       ]
   in
@@ -515,6 +599,7 @@ let () =
       Dds_engine.Pool.with_pool ~jobs (fun pool -> run_tables ~pool ())
     else ([], [])
   in
+  let checker = if not bench_only then run_checker_rows () else [] in
   let estimates =
     if not tables_only then begin
       let results = benchmark () in
@@ -523,5 +608,5 @@ let () =
     end
     else []
   in
-  write_results_json ~tables ~scaling ~estimates;
+  write_results_json ~tables ~scaling ~checker ~estimates;
   Format.printf "@.done.@."

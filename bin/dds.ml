@@ -2,6 +2,7 @@
 
    Subcommands:
      run       simulate one deployment of a register protocol and report
+               (or replay a checker schedule with --schedule)
      scenario  replay one of the paper's constructed executions
      sweep     regenerate one experiment table (E4..E12)
      inspect   summarize a JSONL trace produced by run --trace-out
@@ -9,8 +10,15 @@
                monitors and the regularity checker
      hunt      randomized nemesis search for counterexamples, with
                shrinking to a minimal repro
+     check     systematic bounded exploration of every schedule of a
+               small deployment
+     list      registered protocols and sweep experiments
 
-   Everything is deterministic in --seed. *)
+   Protocols are never named in code here: every subcommand selects
+   from Protocol.all (lib/core/protocol.ml), the one registry of
+   runnable protocols and their theorem metadata.
+
+   Everything is deterministic in --seed; `check` needs no seed at all. *)
 
 open Dds_sim
 open Dds_net
@@ -141,50 +149,39 @@ let build_config c =
   }
 
 (* The monitor configuration a protocol's correctness theorem calls
-   for: the sync protocol's churn bound is 1/(3 delta) (Theorem 1 via
-   Lemma 2), the ES protocol's is 1/(3 delta n) plus the standing
-   active-majority assumption (Theorem 4), and ABD assumes a stable
-   majority of its founding group but bounds no churn. Liveness clocks
-   start at GST when the delay model has one. *)
-let monitor_config_for ~protocol c =
+   for, read off the registry entry: its churn bound (sync: 1/(3 delta)
+   via Theorem 1/Lemma 2; ES: 1/(3 delta n) via Theorem 4; ABD: none),
+   whether it assumes a standing active majority, and whether liveness
+   clocks start at GST when the delay model has one. *)
+let monitor_config_for (p : Protocol.t) c =
   let base = Dds_monitor.Monitor.default ~n:c.n ~delta:c.delta in
-  let base =
-    {
-      base with
-      Dds_monitor.Monitor.churn_window =
-        (match c.churn_window with Some w -> w | None -> 3 * c.delta);
-      liveness_bound = Some (c.liveness_k * c.delta);
-      liveness_from_gst = c.gst <> None;
-    }
-  in
-  match protocol with
-  | "sync" ->
-    Some
-      {
-        base with
-        Dds_monitor.Monitor.churn_bound = Some (1.0 /. (3.0 *. float_of_int c.delta));
-        liveness_from_gst = false;
-      }
-  | "es" ->
-    Some
-      {
-        base with
-        Dds_monitor.Monitor.churn_bound =
-          Some (1.0 /. (3.0 *. float_of_int c.delta *. float_of_int c.n));
-        majority = true;
-      }
-  | "abd" -> Some { base with Dds_monitor.Monitor.majority = true }
-  | _ -> None
+  {
+    base with
+    Dds_monitor.Monitor.churn_window =
+      (match c.churn_window with Some w -> w | None -> 3 * c.delta);
+    liveness_bound = Some (c.liveness_k * c.delta);
+    liveness_from_gst = p.Protocol.gst_liveness && c.gst <> None;
+    churn_bound = p.Protocol.churn_bound ~n:c.n ~delta:c.delta;
+    majority = p.Protocol.majority;
+  }
 
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
   close_out oc
 
-(* One first-class runner per protocol so [run] stays a single code
-   path. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* One code path for [run], generic over the registry entry's packed
+   deployment functor. *)
 let make_runner (type p) (module D : Deployment.S with type Protocol.params = p) (params : p)
-    ~name c =
+    ~(proto : Protocol.t) c =
+  let name = proto.Protocol.name in
   let d = D.create (build_config c) params in
   let module I = Injector.Make (D) in
   (* Armed before anything runs, with a stream split from the workload
@@ -200,11 +197,9 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
      Violation events — the observer never reacts to its own output. *)
   let mon =
     if not c.monitor then None
-    else
-      match monitor_config_for ~protocol:name c with
-      | None -> None
-      | Some cfg ->
-        let m = Dds_monitor.Monitor.create cfg in
+    else begin
+      let cfg = monitor_config_for proto c in
+      let m = Dds_monitor.Monitor.create cfg in
         let sink = D.events d in
         (* [D.create] already emitted the founding joins at t=0; catch
            the monitor up on the buffered prefix or its active-set
@@ -212,12 +207,13 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
         List.iter
           (fun st -> ignore (Dds_monitor.Monitor.feed m st))
           (Event.events sink);
-        Event.on_emit sink (fun st ->
-            List.iter
-              (fun (v : Dds_monitor.Monitor.violation) ->
-                Event.emit sink ~at:v.Dds_monitor.Monitor.at (Dds_monitor.Monitor.to_event v))
-              (Dds_monitor.Monitor.feed m st));
-        Some m
+      Event.on_emit sink (fun st ->
+          List.iter
+            (fun (v : Dds_monitor.Monitor.violation) ->
+              Event.emit sink ~at:v.Dds_monitor.Monitor.at (Dds_monitor.Monitor.to_event v))
+            (Dds_monitor.Monitor.feed m st));
+      Some m
+    end
   in
   D.start_churn d ~until:(time c.horizon);
   G.run d
@@ -283,18 +279,11 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
     `Error (false, "safety violated")
   end
 
-module Sync_d = Deployment.Make (Sync_register)
-module Es_d = Deployment.Make (Es_register)
-module Abd_d = Deployment.Make (Abd_register)
-
-let run_protocol protocol c =
-  match protocol with
-  | "sync" ->
-    make_runner (module Sync_d) (Sync_register.default_params ~delta:c.delta) ~name:"sync" c
-  | "es" -> make_runner (module Es_d) (Es_register.default_params ~n:c.n) ~name:"es" c
-  | "abd" ->
-    make_runner (module Abd_d) (Abd_register.default_params ~group_size:c.n) ~name:"abd" c
-  | other -> `Error (true, Printf.sprintf "unknown protocol %S (sync|es|abd)" other)
+let run_protocol (p : Protocol.t) c =
+  let module R = (val p.Protocol.runner : Protocol.RUNNER) in
+  match R.params { Protocol.n = c.n; delta = c.delta; quorum = None } with
+  | Error e -> `Error (false, e)
+  | Ok params -> make_runner (module R.D) params ~proto:p c
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner terms *)
@@ -449,38 +438,106 @@ let common_t =
     $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
     $ liveness_k_t $ nemesis_t $ jobs_t)
 
-(* The protocol can be given positionally ([dds run es ...]) or via
-   [--proto es]; the flag wins when both are present. *)
+(* One converter for every subcommand that takes a protocol: parses
+   against the registry, so an unknown name is rejected at the CLI
+   boundary with the registered names listed. The protocol can be
+   given positionally ([dds run es ...]) or via [--proto es]; the flag
+   wins when both are present. *)
+let proto_conv =
+  let parse s =
+    match Protocol.find s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown protocol %S (registered: %s)" s
+              (String.concat ", " Protocol.names)))
+  in
+  let print ppf (p : Protocol.t) = Format.pp_print_string ppf p.Protocol.name in
+  Arg.conv (parse, print)
+
+let proto_doc = "Register protocol: " ^ String.concat ", " Protocol.names ^ "."
+
 let protocol_pos_t =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"PROTOCOL"
-         ~doc:"Register protocol: sync, es or abd.")
+  Arg.(value & pos 0 (some proto_conv) None & info [] ~docv:"PROTOCOL" ~doc:proto_doc)
 
 let protocol_flag_t =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some proto_conv) None
     & info [ "proto"; "protocol" ] ~docv:"PROTOCOL"
-        ~doc:"Register protocol: sync, es or abd (alternative to the positional form).")
+        ~doc:(proto_doc ^ " Alternative to the positional form."))
 
 let resolve_protocol pos flag k =
   match (flag, pos) with
   | Some p, _ | None, Some p -> k p
   | None, None -> `Error (true, "missing protocol: give it positionally or with --proto")
 
+(* Replay a schedule emitted by [dds check]: re-executes the recorded
+   decision sequence through the same choice points and re-judges. *)
+let run_replay path =
+  match read_file path with
+  | exception Sys_error e -> `Error (false, e)
+  | text -> (
+    match Dds_check.Schedule.of_string text with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+    | Ok sched -> (
+      match Dds_check.Check.replay_schedule sched with
+      | Error e -> `Error (false, e)
+      | Ok r ->
+        let cfg = sched.Dds_check.Schedule.config in
+        Format.printf
+          "replay     : %s nodes=%d delta=%d writes=%d reads=%d joins=%d%s drops<=%d \
+           crashes<=%d@."
+          cfg.Dds_check.Schedule.proto cfg.Dds_check.Schedule.nodes
+          cfg.Dds_check.Schedule.delta cfg.Dds_check.Schedule.writes
+          cfg.Dds_check.Schedule.reads cfg.Dds_check.Schedule.joins
+          (match cfg.Dds_check.Schedule.quorum with
+          | Some q -> Printf.sprintf " quorum=%d" q
+          | None -> "")
+          cfg.Dds_check.Schedule.drop_budget cfg.Dds_check.Schedule.crash_budget;
+        Format.printf "decisions  : %d recorded (deeper points default to branch 0)@."
+          r.Dds_check.Check.decisions_used;
+        let reg = r.Dds_check.Check.regularity in
+        Format.printf "regularity : %s (%d reads, %d joins checked; %d violations)@."
+          (if Regularity.is_ok reg then "REGULAR" else "VIOLATED")
+          reg.Regularity.checked_reads reg.Regularity.checked_joins
+          (List.length reg.Regularity.violations);
+        Format.printf "atomicity  : %d new/old inversion(s)@." r.Dds_check.Check.inversions;
+        List.iter (fun l -> Format.printf "  %s@." l) r.Dds_check.Check.violations;
+        if r.Dds_check.Check.violations = [] then `Ok ()
+        else `Error (false, "schedule violates the specification")))
+
 let run_cmd =
-  let doc = "Simulate one deployment under churn and report safety and latency." in
+  let doc =
+    "Simulate one deployment under churn and report safety and latency; or, with \
+     $(b,--schedule), replay a counterexample schedule emitted by $(b,dds check)."
+  in
+  let schedule_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Replay this checker schedule instead of a randomized run (the file fixes \
+             protocol, deployment and every scheduling/fault decision; all other flags \
+             are ignored).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const (fun pos flag c -> resolve_protocol pos flag (fun p -> run_protocol p c))
-        $ protocol_pos_t $ protocol_flag_t $ common_t))
+        (const (fun schedule pos flag c ->
+             match schedule with
+             | Some path -> run_replay path
+             | None -> resolve_protocol pos flag (fun p -> run_protocol p c))
+        $ schedule_t $ protocol_pos_t $ protocol_flag_t $ common_t))
 
 (* analyze *)
 
 (* Runs a deployment like [run] does, then writes per-tick series
    (|A(tau)|, present count) as CSV for external plotting. *)
-let run_analyze protocol out c =
+let run_analyze (proto : Protocol.t) out c =
   let drive (type p) (module D : Deployment.S with type Protocol.params = p) (params : p) =
     let d = D.create (build_config c) params in
     let module G = Generator.Make (D) in
@@ -508,11 +565,10 @@ let run_analyze protocol out c =
     Format.printf "series written to %s (%d ticks)@." out c.horizon;
     `Ok ()
   in
-  match protocol with
-  | "sync" -> drive (module Sync_d) (Sync_register.default_params ~delta:c.delta)
-  | "es" -> drive (module Es_d) (Es_register.default_params ~n:c.n)
-  | "abd" -> drive (module Abd_d) (Abd_register.default_params ~group_size:c.n)
-  | other -> `Error (true, Printf.sprintf "unknown protocol %S (sync|es|abd)" other)
+  let module R = (val proto.Protocol.runner : Protocol.RUNNER) in
+  match R.params { Protocol.n = c.n; delta = c.delta; quorum = None } with
+  | Error e -> `Error (false, e)
+  | Ok params -> drive (module R.D) params
 
 let analyze_cmd =
   let doc = "Run a deployment and dump per-tick |A(tau)| / present-count series as CSV." in
@@ -567,11 +623,11 @@ let scenario_cmd =
 
 (* sweep *)
 
-(* One engine pool per sweep/hunt invocation. The summary (and the
-   optional metrics dump notice) goes to stderr: stdout must stay
+(* One engine pool per sweep/hunt/check invocation. The summary (and
+   the optional metrics dump notice) goes to stderr: stdout must stay
    byte-identical across worker counts, and CI diffs it. *)
-let with_engine c f =
-  let jobs = if c.jobs <= 0 then Dds_engine.Pool.default_jobs () else c.jobs in
+let with_engine' ~jobs ~metrics_out f =
+  let jobs = if jobs <= 0 then Dds_engine.Pool.default_jobs () else jobs in
   Dds_engine.Pool.with_pool ~jobs (fun pool ->
       let r = f pool in
       let stats = Dds_engine.Pool.stats pool in
@@ -579,7 +635,7 @@ let with_engine c f =
       let steals = List.fold_left (fun a s -> a + s.Dds_engine.Pool.ws_steals) 0 stats in
       Format.eprintf "engine     : %d worker(s), %d job(s), %d steal(s), %.2fs wall@."
         (Dds_engine.Pool.jobs pool) cells steals (Dds_engine.Pool.wall_s pool);
-      (match c.metrics_out with
+      (match metrics_out with
       | Some path ->
         write_file path
           (Json.to_string
@@ -588,6 +644,32 @@ let with_engine c f =
         Format.eprintf "engine metrics written to %s@." path
       | None -> ());
       r)
+
+let with_engine c f = with_engine' ~jobs:c.jobs ~metrics_out:c.metrics_out f
+
+(* The sweep registry: every experiment table `dds sweep` can
+   regenerate, with the one-line description `dds list` prints. The
+   dispatch below must cover exactly these names. *)
+let sweeps =
+  [
+    ("lemma2", "join latency vs churn ratio c*3delta (Lemma 2's admissible region)");
+    ("safety", "paper-literal sync register: safety vs churn ratio across seeds");
+    ("boundary", "ES liveness/safety at the 1/(3 delta n) churn boundary");
+    ("versus", "ABD on a fixed group vs the dynamic protocols under churn");
+    ("msgs", "message complexity per operation as n grows");
+    ("quorum", "timed-quorum survival probability vs churn");
+    ("threshold", "empirical churn threshold across delta");
+    ("bursty", "bursty (non-uniform) churn vs the uniform assumption");
+    ("loss", "message loss vs the reliable-channel assumption");
+    ("joinopt", "join-wait optimization: one delta vs two");
+    ("broadcast", "broadcast primitive robustness under loss");
+    ("consensus", "repeated-consensus overlay under churn");
+    ("geo", "geo-distributed delays: speed ratio vs latency");
+    ("repair", "read-repair ablation (regular vs atomic reads)");
+    ("calibration", "believed vs actual delta calibration");
+    ("sessions", "session-model churn (exponential vs uniform lifetimes)");
+    ("nemesis", "fault-plan matrix: each nemesis vs each protocol");
+  ]
 
 let run_sweep name c =
   with_engine c @@ fun pool ->
@@ -709,18 +791,10 @@ let run_sweep name c =
   | other ->
     `Error
       ( true,
-        Printf.sprintf
-          "unknown sweep %S (lemma2|safety|boundary|versus|msgs|quorum|threshold|bursty|loss|joinopt|broadcast|consensus|geo|repair|calibration|sessions|nemesis)"
-          other )
+        Printf.sprintf "unknown sweep %S (%s)" other
+          (String.concat "|" (List.map fst sweeps)) )
 
 (* inspect *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
 
 (* Per-phase latency table for one operation kind: each phase segment
    (see Export.phase_durations) gets its own row, plus a total row. *)
@@ -868,7 +942,7 @@ let inspect_cmd =
    the regularity checker, offline: everything the in-process checkers
    see is reconstructed from the trace alone (span payloads, Lamport
    stamps, membership events). Exits non-zero when anything fired. *)
-let run_audit path protocol initial c =
+let run_audit path (proto : Protocol.t) initial c =
   match read_file path with
   | exception Sys_error e -> `Error (false, e)
   | text -> (
@@ -876,21 +950,10 @@ let run_audit path protocol initial c =
     | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
     | Ok (evs, warnings) ->
       List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
-      let cfg =
-        match monitor_config_for ~protocol c with
-        | Some cfg -> cfg
-        | None ->
-          (* Unknown protocol: safety monitors only, no assumption
-             bounds (they are protocol-specific). *)
-          {
-            (Dds_monitor.Monitor.default ~n:c.n ~delta:c.delta) with
-            Dds_monitor.Monitor.liveness_bound = Some (c.liveness_k * c.delta);
-            liveness_from_gst = c.gst <> None;
-          }
-      in
+      let cfg = monitor_config_for proto c in
       let violations = Dds_monitor.Monitor.run cfg evs in
       Format.printf "%s: %d events audited (%s monitors, n=%d, delta=%d)@." path
-        (List.length evs) protocol c.n c.delta;
+        (List.length evs) proto.Protocol.name c.n c.delta;
       (match cfg.Dds_monitor.Monitor.churn_bound with
       | Some b -> Format.printf "churn bound: %.5f per tick@." b
       | None -> Format.printf "churn bound: none@.");
@@ -935,12 +998,12 @@ let audit_cmd =
   let proto_t =
     Arg.(
       value
-      & opt string "sync"
+      & opt proto_conv (Protocol.find_exn "sync")
       & info [ "proto"; "protocol" ] ~docv:"PROTOCOL"
           ~doc:
-            "Protocol the trace came from — selects which assumption bounds apply: \
-             $(b,sync) checks churn against 1/(3 delta), $(b,es) against 1/(3 delta n) \
-             plus the active majority, $(b,abd) the majority only.")
+            ("Protocol the trace came from — selects which assumption bounds apply (churn \
+              bound, active majority, GST-clocked liveness) from the registry. "
+            ^ proto_doc))
   in
   let initial_t =
     Arg.(
@@ -963,7 +1026,8 @@ let audit_cmd =
    non-zero iff a violation was found, so CI can assert both
    directions: a within-model hunt must come back clean, a fixed
    assumption-breaking plan must be flagged. *)
-let run_hunt protocol plans profile no_shrink c =
+let run_hunt (proto : Protocol.t) plans profile no_shrink c =
+  let protocol = proto.Protocol.name in
   let drive (type p) (module D : Deployment.S with type Protocol.params = p) (params : p) =
     let module H = Harness.Make (D) in
     let spec =
@@ -974,15 +1038,15 @@ let run_hunt protocol plans profile no_shrink c =
         read_rate = c.read_rate;
         write_every = c.write_every;
         monitor =
-          (* As a hunt judge, the inversion monitor only applies to the
-             protocol that promises atomicity: sync and es implement a
-             regular register, and a new/old inversion is legitimate
-             behavior there (the paper's Figure 4), not a
-             counterexample. *)
-          Option.map
-            (fun cfg ->
-              { cfg with Dds_monitor.Monitor.inversions = String.equal protocol "abd" })
-            (monitor_config_for ~protocol c);
+          (* As a hunt judge, the inversion monitor only applies to
+             protocols that promise atomicity: a regular register may
+             legitimately exhibit a new/old inversion (the paper's
+             Figure 4), so it is not a counterexample there. *)
+          Some
+            {
+              (monitor_config_for proto c) with
+              Dds_monitor.Monitor.inversions = proto.Protocol.atomic;
+            };
       }
     in
     let runner ~seed plan = H.run { (build_config c) with Deployment.seed } params spec plan in
@@ -1037,11 +1101,10 @@ let run_hunt protocol plans profile no_shrink c =
       Format.printf "repro      : %s@." (repro_line ~protocol repro_c);
       `Error (false, "hunt found a violating execution")
   in
-  match protocol with
-  | "sync" -> drive (module Sync_d) (Sync_register.default_params ~delta:c.delta)
-  | "es" -> drive (module Es_d) (Es_register.default_params ~n:c.n)
-  | "abd" -> drive (module Abd_d) (Abd_register.default_params ~group_size:c.n)
-  | other -> `Error (true, Printf.sprintf "unknown protocol %S (sync|es|abd)" other)
+  let module R = (val proto.Protocol.runner : Protocol.RUNNER) in
+  match R.params { Protocol.n = c.n; delta = c.delta; quorum = None } with
+  | Error e -> `Error (false, e)
+  | Ok params -> drive (module R.D) params
 
 let hunt_cmd =
   let doc =
@@ -1079,19 +1142,207 @@ let hunt_cmd =
         $ protocol_pos_t $ protocol_flag_t $ plans_t $ profile_t $ no_shrink_t $ common_t))
 
 let sweep_cmd =
-  let doc = "Regenerate one experiment table (see DESIGN.md's index)." in
+  let doc = "Regenerate one experiment table (see DESIGN.md's index or $(b,dds list))." in
   let name_t =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"SWEEP" ~doc:"lemma2, safety, boundary, versus, msgs, quorum, threshold, bursty, loss, joinopt, broadcast, consensus, geo, repair, calibration or sessions.")
+      & info [] ~docv:"SWEEP"
+          ~doc:("One of: " ^ String.concat ", " (List.map fst sweeps) ^ "."))
   in
   Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ name_t $ common_t))
+
+(* check *)
+
+(* Systematic bounded exploration: every schedule of a small scripted
+   deployment, driven through the checker's choice points. The verdict
+   table goes to stdout (byte-identical at any --jobs); the engine
+   summary goes to stderr like sweep/hunt. *)
+let run_check (p : Protocol.t) nodes delta writes reads joins quorum drop_budget crash_budget
+    depth_bound preempt_bound schedule_out naive frontier jobs =
+  let cfg =
+    {
+      Dds_check.Schedule.proto = p.Protocol.name;
+      nodes;
+      delta;
+      writes;
+      reads;
+      joins;
+      quorum;
+      drop_budget;
+      crash_budget;
+      depth_bound;
+      preempt_bound;
+    }
+  in
+  with_engine' ~jobs ~metrics_out:None @@ fun pool ->
+  match
+    Dds_check.Check.run ~pool ~por:(not naive) ~state_cache:(not naive) ~frontier p cfg
+  with
+  | Error e -> `Error (false, e)
+  | Ok { Dds_check.Check.stats; violation } ->
+    Format.printf "check      : %s nodes=%d delta=%d writes=%d reads=%d joins=%d%s@."
+      p.Protocol.name nodes delta writes reads joins
+      (match quorum with Some q -> Printf.sprintf " quorum=%d" q | None -> "");
+    Format.printf "adversary  : <=%d drop(s), <=%d crash(es)@." drop_budget crash_budget;
+    Format.printf "bounds     : depth %d, %d preemption(s)@." depth_bound preempt_bound;
+    Format.printf "schedules  : %d explored, %d truncated at the depth bound@."
+      stats.Dds_check.Check.schedules stats.Dds_check.Check.truncated;
+    Format.printf "pruned     : %d state-cache hit(s), %d sleep-set skip(s), %d over the \
+                   preemption budget@."
+      stats.Dds_check.Check.state_prunes stats.Dds_check.Check.sleep_skips
+      stats.Dds_check.Check.preempt_skips;
+    Format.printf "max depth  : %d decision(s)@." stats.Dds_check.Check.max_depth;
+    (match violation with
+    | None ->
+      Format.printf "verdict    : CLEAN — no %s violation within bounds@."
+        (if p.Protocol.atomic then "regularity/atomicity" else "regularity");
+      `Ok ()
+    | Some v ->
+      Format.printf "verdict    : VIOLATION at schedule %d of %d@."
+        v.Dds_check.Check.at_schedule stats.Dds_check.Check.schedules;
+      List.iter (fun l -> Format.printf "  %s@." l) v.Dds_check.Check.lines;
+      (match schedule_out with
+      | Some path ->
+        write_file path (Dds_check.Schedule.to_string v.Dds_check.Check.schedule);
+        Format.printf "schedule   : written to %s (replay: dds run --schedule %s)@." path
+          path
+      | None ->
+        Format.printf "schedule   : (replay with dds run --schedule)@.%s"
+          (Dds_check.Schedule.to_string v.Dds_check.Check.schedule));
+      `Error (false, "check found a violating schedule"))
+
+let check_cmd =
+  let doc =
+    "Explore $(i,every) schedule of a small scripted deployment up to the given bounds: \
+     at each tick where several events are ready the scheduler branches on which fires \
+     first, and the bounded adversary branches on drop-or-deliver per message and \
+     crash-or-not at fixed ticks. Terminal runs are judged against regularity (and \
+     atomicity for protocols that promise it); the first violating schedule is emitted \
+     in a replayable format. Exits non-zero iff a violation was found."
+  in
+  let nodes_t =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"INT" ~doc:"Founding system size.")
+  in
+  let delta_t =
+    Arg.(value & opt int 1 & info [ "delta" ] ~docv:"TICKS" ~doc:"Message delay (constant).")
+  in
+  let writes_t =
+    Arg.(value & opt int 1 & info [ "writes" ] ~docv:"N" ~doc:"Scripted writes (writer p0).")
+  in
+  let reads_t =
+    Arg.(
+      value & opt int 1
+      & info [ "reads" ] ~docv:"N" ~doc:"Scripted reads (round-robin over the other nodes).")
+  in
+  let joins_t =
+    Arg.(value & opt int 0 & info [ "joins" ] ~docv:"N" ~doc:"Scripted mid-run joiners.")
+  in
+  let quorum_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:
+            "Override the quorum size for protocols that take one (es). Setting it below \
+             a majority is the canonical mutation the checker must catch.")
+  in
+  let drop_t =
+    Arg.(
+      value & opt int 0
+      & info [ "drop-budget" ] ~docv:"N"
+          ~doc:"Adversary may drop up to N messages (each transmission becomes a branch).")
+  in
+  let crash_t =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-budget" ] ~docv:"N"
+          ~doc:"Adversary may crash up to N non-writer processes at fixed decision ticks.")
+  in
+  let depth_t =
+    Arg.(
+      value & opt int 16
+      & info [ "depth-bound" ] ~docv:"D"
+          ~doc:"Max decisions explored per run; deeper points take the default branch.")
+  in
+  let preempt_t =
+    Arg.(
+      value & opt int 2
+      & info [ "preempt-bound" ] ~docv:"P"
+          ~doc:"Max non-FIFO scheduling choices per run (CHESS-style preemption bound).")
+  in
+  let schedule_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule-out" ] ~docv:"FILE"
+          ~doc:"Write the violating schedule here instead of stdout.")
+  in
+  let naive_t =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Disable the sleep-set partial-order reduction and the state cache (explore \
+             the raw tree) — for measuring what the reductions save.")
+  in
+  let frontier_t =
+    Arg.(
+      value & opt int 64
+      & info [ "frontier" ] ~docv:"N"
+          ~doc:
+            "Parallel partitioning width target. Part of the exploration shape (counts \
+             are only comparable at equal frontier), independent of --jobs.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const (fun pos flag nodes delta writes reads joins quorum drop crash depth preempt
+                    out naive frontier jobs ->
+             resolve_protocol pos flag (fun p ->
+                 run_check p nodes delta writes reads joins quorum drop crash depth preempt
+                   out naive frontier jobs))
+        $ protocol_pos_t $ protocol_flag_t $ nodes_t $ delta_t $ writes_t $ reads_t
+        $ joins_t $ quorum_t $ drop_t $ crash_t $ depth_t $ preempt_t $ schedule_out_t
+        $ naive_t $ frontier_t $ jobs_t))
+
+(* list *)
+
+let run_list () =
+  Format.printf "protocols:@.";
+  List.iter
+    (fun (p : Protocol.t) ->
+      Format.printf "  %-5s %s@." p.Protocol.name p.Protocol.doc;
+      Format.printf "        %s register; %s%s@."
+        (if p.Protocol.atomic then "atomic" else "regular")
+        (if p.Protocol.majority then "assumes an active majority; " else "")
+        (match p.Protocol.churn_bound ~n:10 ~delta:3 with
+        | Some b -> Printf.sprintf "churn bound %.5f/tick at n=10 delta=3" b
+        | None -> "no churn bound (static group)"))
+    Protocol.all;
+  Format.printf "@.sweeps:@.";
+  List.iter (fun (name, doc) -> Format.printf "  %-12s %s@." name doc) sweeps;
+  `Ok ()
+
+let list_cmd =
+  let doc = "List the registered protocols (with their theorem metadata) and sweeps." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(ret (const run_list $ const ()))
 
 let main_cmd =
   let doc = "regular registers in dynamic distributed systems (Baldoni et al., ICDCS 2009)" in
   Cmd.group
     (Cmd.info "dds" ~version:"1.0.0" ~doc)
-    [ run_cmd; analyze_cmd; scenario_cmd; sweep_cmd; inspect_cmd; audit_cmd; hunt_cmd ]
+    [
+      run_cmd;
+      analyze_cmd;
+      scenario_cmd;
+      sweep_cmd;
+      inspect_cmd;
+      audit_cmd;
+      hunt_cmd;
+      check_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

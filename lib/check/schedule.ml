@@ -1,0 +1,129 @@
+type config = {
+  proto : string;
+  nodes : int;
+  delta : int;
+  writes : int;
+  reads : int;
+  joins : int;
+  quorum : int option;
+  drop_budget : int;
+  crash_budget : int;
+  depth_bound : int;
+  preempt_bound : int;
+}
+
+type decision = { chosen : int; arity : int; label : string }
+
+type t = { config : config; decisions : decision list }
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let c = t.config in
+  addf "# dds check schedule\n";
+  addf "proto=%s\n" c.proto;
+  addf "nodes=%d\n" c.nodes;
+  addf "delta=%d\n" c.delta;
+  addf "writes=%d\n" c.writes;
+  addf "reads=%d\n" c.reads;
+  addf "joins=%d\n" c.joins;
+  (match c.quorum with Some q -> addf "quorum=%d\n" q | None -> ());
+  addf "drop-budget=%d\n" c.drop_budget;
+  addf "crash-budget=%d\n" c.crash_budget;
+  addf "depth-bound=%d\n" c.depth_bound;
+  addf "preempt-bound=%d\n" c.preempt_bound;
+  List.iter (fun d -> addf "choice %d/%d %s\n" d.chosen d.arity d.label) t.decisions;
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let ( let* ) = Result.bind
+
+let int_of field s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "schedule: bad integer for %s: %S" field s)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let fields : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let decisions = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !err = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else if String.length line > 7 && String.sub line 0 7 = "choice " then begin
+          (* choice <chosen>/<arity> <label> *)
+          match String.split_on_char ' ' line with
+          | [ _; frac; label ] -> (
+            match String.split_on_char '/' frac with
+            | [ ch; ar ] -> (
+              match (int_of_string_opt ch, int_of_string_opt ar) with
+              | Some chosen, Some arity when chosen >= 0 && chosen < arity ->
+                decisions := { chosen; arity; label } :: !decisions
+              | _ ->
+                err :=
+                  Some (Printf.sprintf "schedule line %d: bad choice %S" (lineno + 1) line))
+            | _ ->
+              err := Some (Printf.sprintf "schedule line %d: bad choice %S" (lineno + 1) line))
+          | _ ->
+            err := Some (Printf.sprintf "schedule line %d: bad choice %S" (lineno + 1) line)
+        end
+        else
+          match String.index_opt line '=' with
+          | Some i ->
+            Hashtbl.replace fields
+              (String.sub line 0 i)
+              (String.sub line (i + 1) (String.length line - i - 1))
+          | None ->
+            err := Some (Printf.sprintf "schedule line %d: unparseable %S" (lineno + 1) line))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    let get field =
+      match Hashtbl.find_opt fields field with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "schedule: missing %s=" field)
+    in
+    let get_int field =
+      let* v = get field in
+      int_of field v
+    in
+    let* proto = get "proto" in
+    let* nodes = get_int "nodes" in
+    let* delta = get_int "delta" in
+    let* writes = get_int "writes" in
+    let* reads = get_int "reads" in
+    let* joins = get_int "joins" in
+    let* quorum =
+      match Hashtbl.find_opt fields "quorum" with
+      | None -> Ok None
+      | Some v ->
+        let* q = int_of "quorum" v in
+        Ok (Some q)
+    in
+    let* drop_budget = get_int "drop-budget" in
+    let* crash_budget = get_int "crash-budget" in
+    let* depth_bound = get_int "depth-bound" in
+    let* preempt_bound = get_int "preempt-bound" in
+    Ok
+      {
+        config =
+          {
+            proto;
+            nodes;
+            delta;
+            writes;
+            reads;
+            joins;
+            quorum;
+            drop_budget;
+            crash_budget;
+            depth_bound;
+            preempt_bound;
+          };
+        decisions = List.rev !decisions;
+      }

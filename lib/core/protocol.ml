@@ -1,0 +1,94 @@
+type spec = { n : int; delta : int; quorum : int option }
+
+module type RUNNER = sig
+  module D : Deployment.S
+
+  val params : spec -> (D.Protocol.params, string) result
+end
+
+type t = {
+  name : string;
+  doc : string;
+  atomic : bool;
+  majority : bool;
+  gst_liveness : bool;
+  churn_bound : n:int -> delta:int -> float option;
+  runner : (module RUNNER);
+}
+
+module Sync_runner = struct
+  module D = Deployment.Make (Sync_register)
+
+  let params (s : spec) =
+    match s.quorum with
+    | Some _ -> Error "protocol sync waits on time, not quorums: --quorum does not apply"
+    | None -> Ok (Sync_register.default_params ~delta:s.delta)
+end
+
+module Es_runner = struct
+  module D = Deployment.Make (Es_register)
+
+  let params (s : spec) =
+    let p = Es_register.default_params ~n:s.n in
+    match s.quorum with
+    | None -> Ok p
+    | Some q when q >= 1 && q <= s.n -> Ok { p with Es_register.quorum_override = Some q }
+    | Some q -> Error (Printf.sprintf "quorum %d out of range [1, %d]" q s.n)
+end
+
+module Abd_runner = struct
+  module D = Deployment.Make (Abd_register)
+
+  let params (s : spec) =
+    match s.quorum with
+    | Some _ -> Error "protocol abd fixes its quorum at majority: --quorum does not apply"
+    | None -> Ok (Abd_register.default_params ~group_size:s.n)
+end
+
+(* The monitor metadata restates each protocol's theorem: sync's churn
+   bound is 1/(3 delta) (Theorem 1 via Lemma 2) with liveness clocked
+   from the invocation; ES assumes c <= 1/(3 delta n) plus a standing
+   active majority, with liveness only promised after GST (Theorem 4);
+   ABD assumes a stable majority of its founding group and bounds no
+   churn. Only ABD promises atomicity. *)
+let all =
+  [
+    {
+      name = "sync";
+      doc = "synchronous regular register (Figures 1-2; Theorem 1)";
+      atomic = false;
+      majority = false;
+      gst_liveness = false;
+      churn_bound = (fun ~n:_ ~delta -> Some (1.0 /. (3.0 *. float_of_int delta)));
+      runner = (module Sync_runner : RUNNER);
+    };
+    {
+      name = "es";
+      doc = "eventually-synchronous quorum register (Figures 4-6; Theorem 4)";
+      atomic = false;
+      majority = true;
+      gst_liveness = true;
+      churn_bound =
+        (fun ~n ~delta -> Some (1.0 /. (3.0 *. float_of_int delta *. float_of_int n)));
+      runner = (module Es_runner : RUNNER);
+    };
+    {
+      name = "abd";
+      doc = "static-group ABD atomic register (the paper's baseline comparison)";
+      atomic = true;
+      majority = true;
+      gst_liveness = true;
+      churn_bound = (fun ~n:_ ~delta:_ -> None);
+      runner = (module Abd_runner : RUNNER);
+    };
+  ]
+
+let names = List.map (fun p -> p.name) all
+let find name = List.find_opt (fun p -> String.equal p.name name) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown protocol %S (%s)" name (String.concat "|" names))

@@ -1,0 +1,56 @@
+(** First-class protocol registry.
+
+    One table owns everything the front ends need to know about a
+    register protocol: its deployment functor instance, how to build
+    its parameters from a generic {!spec}, and the monitor-relevant
+    metadata its correctness theorem states (churn bound, standing
+    majority assumption, whether liveness clocks start at GST, whether
+    the protocol promises atomicity). `dds run`, `sweep`, `hunt` and
+    `check` all select protocols from this table, so adding a protocol
+    is one [entry] here — no string matching anywhere else. *)
+
+type spec = {
+  n : int;  (** system size *)
+  delta : int;  (** message delay bound *)
+  quorum : int option;
+      (** quorum-threshold override, for protocols that have one (ES);
+          the mutation lever the model checker's known-bad tests use *)
+}
+
+(** A protocol's deployment instance plus its parameter builder. *)
+module type RUNNER = sig
+  module D : Deployment.S
+
+  val params : spec -> (D.Protocol.params, string) result
+  (** [Error] when the spec asks for something the protocol does not
+      have (e.g. a quorum override on a delta-based protocol). *)
+end
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description, shown by [dds list] *)
+  atomic : bool;
+      (** promises atomicity: new/old inversions are counterexamples
+          (ABD), not legitimate regular-register behaviour (sync, es) *)
+  majority : bool;  (** standing active-majority assumption to monitor *)
+  gst_liveness : bool;
+      (** liveness clocks may start at GST when the delay model has
+          one (eventually-synchronous protocols); [false] pins them to
+          the invocation (synchronous protocols) *)
+  churn_bound : n:int -> delta:int -> float option;
+      (** the admissible churn rate the protocol's theorem assumes,
+          [None] when it bounds no churn (ABD's static group) *)
+  runner : (module RUNNER);
+}
+
+val all : t list
+(** Every registered protocol, in canonical (registration) order. *)
+
+val names : string list
+(** Their names, same order — for error messages and CLI docs. *)
+
+val find : string -> t option
+
+val find_exn : string -> t
+(** @raise Invalid_argument with the registered-name list when the
+    protocol is unknown. *)

@@ -69,7 +69,13 @@ let current_sn t =
   | Some _ | None -> -1
 
 let set_timer t d f =
-  let tok = Scheduler.schedule_after t.sched d (fun () -> if not t.left then f ()) in
+  let tag =
+    if Scheduler.choosing t.sched then
+      Some
+        { Scheduler.actor = Pid.to_int t.pid; kind = Format.asprintf "timer:%a" Pid.pp t.pid }
+    else None
+  in
+  let tok = Scheduler.schedule_after t.sched ?tag d (fun () -> if not t.left then f ()) in
   t.timers <- tok :: t.timers
 
 (* Lines 10-11: become active, then answer the postponed inquiries. *)

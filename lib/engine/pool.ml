@@ -239,6 +239,29 @@ let find_first t ~key ~f xs =
   | i when i = max_int -> None
   | i -> Some (i, Option.get out.(i))
 
+let expand_frontier t ~key ~children ?(max_levels = 64) ~target roots =
+  let rec loop level frontier =
+    let branches =
+      List.filter_map (function Either.Left x -> Some x | Either.Right _ -> None) frontier
+    in
+    if branches = [] || List.length frontier >= target || level >= max_levels then frontier
+    else begin
+      let expanded = map t ~key ~f:children branches in
+      (* Positional stitch: each Left is replaced by its children (in
+         their returned order), Rights pass through — so the frontier
+         order is a pure function of the tree, not of scheduling. *)
+      let rec stitch fr ex acc =
+        match (fr, ex) with
+        | [], [] -> List.rev acc
+        | (Either.Right _ as leaf) :: fr, ex -> stitch fr ex (leaf :: acc)
+        | Either.Left _ :: fr, kids :: ex -> stitch fr ex (List.rev_append kids acc)
+        | Either.Left _ :: _, [] | [], _ :: _ -> assert false
+      in
+      loop (level + 1) (stitch frontier expanded [])
+    end
+  in
+  loop 0 (List.map Either.left roots)
+
 type worker_stat = { ws_jobs : int; ws_steals : int; ws_busy_s : float }
 
 let stats t =

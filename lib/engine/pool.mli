@@ -64,6 +64,30 @@ val find_first : t -> key:('a -> string) -> f:('a -> 'r option) -> 'a list -> (i
     the answer is independent of the worker count. [None] when [f]
     yielded [None] everywhere. *)
 
+val expand_frontier :
+  t ->
+  key:('a -> string) ->
+  children:('a -> ('a, 'b) Either.t list) ->
+  ?max_levels:int ->
+  target:int ->
+  'a list ->
+  ('a, 'b) Either.t list
+(** Deterministic breadth-first tree expansion — the job-tree
+    primitive behind the model checker's top-of-tree partitioning.
+
+    Starting from [roots] (all [Left]), each level expands {e every}
+    pending branch in parallel ([children] returns a mix of [Left]
+    sub-branches to expand further and [Right] leaves, possibly
+    empty), splicing the results back in canonical order. Expansion
+    stops once the frontier holds at least [target] elements, no
+    branches remain, or [max_levels] (default 64) levels have run.
+
+    Because levels are whole and stitching is positional, the
+    resulting frontier — contents {e and} order — depends only on the
+    tree shape and [target], never on the worker count: partitioning
+    work via [expand_frontier] keeps downstream aggregation
+    byte-identical at any [--jobs]. *)
+
 (** {1 Engine metrics} *)
 
 type worker_stat = {

@@ -1,0 +1,42 @@
+open Dds_core
+
+(** Bounded adversary choice points for the model checker.
+
+    Where {!Injector} replays a fixed {!Nemesis.plan} and {!Hunt}
+    samples random ones, [Adversary] exposes the fault dimension as
+    {e explicit decision points} for exhaustive exploration
+    ({!Dds_check.Check}): while budget remains, every message
+    transmission asks the oracle drop-or-deliver, and every configured
+    decision tick asks crash-or-not (and whom). The oracle sees each
+    point's arity and a replay-stable label; which branch it picks is
+    the explorer's business — the adversary merely enumerates what a
+    fault environment {e could} do, bounded so the schedule tree stays
+    finite.
+
+    Faults flow through the same machinery as nemesis injection: drops
+    via the network's fault plan (so they emit [Fault_injected] /
+    [Drop] telemetry), crashes via [D.crash] (so pending operations
+    abort and [Node_crash] is recorded). The designated writer is
+    never offered as a crash victim when the deployment protects it —
+    the same regime the churn engine honours. *)
+
+module Make (D : Deployment.S) : sig
+  type t
+
+  val install :
+    choose:(n:int -> label:string -> int) ->
+    drop_budget:int ->
+    crash_budget:int ->
+    ?crash_ticks:int list ->
+    D.t ->
+    t
+  (** Installs the drop hook (when [drop_budget > 0]) and schedules a
+      crash decision point at each absolute tick of [crash_ticks]
+      (consulted only while [crash_budget > 0]). Call once, before the
+      run starts. [choose ~n ~label] must return an index in
+      [\[0, n)]; index 0 is always "do nothing" (deliver / no crash).
+      Decision points with a single branch are not offered. *)
+
+  val drops_injected : t -> int
+  val crashes_injected : t -> int
+end

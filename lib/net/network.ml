@@ -156,8 +156,24 @@ let transmit t ~kind ~src ~dst ?on_arrival msg =
     let sent_lc = announce () in
     let d = Delay.sample t.delay ~rng:t.rng decision + extra in
     t.flying <- t.flying + 1;
+    (* Under a chooser (model checking), deliveries carry a tag naming
+       the acting node and the full rendered payload: the actor feeds
+       the partial-order reduction (deliveries to different nodes
+       commute) and the kind string feeds schedule rendering and state
+       fingerprints. Ordinary runs skip the rendering cost. *)
+    let tag =
+      if Scheduler.choosing t.sched then
+        Some
+          {
+            Scheduler.actor = Pid.to_int dst;
+            kind =
+              Format.asprintf "deliver:%s:%a->%a:%a" (kind_of t msg) Pid.pp src Pid.pp dst
+                (pp_payload t) msg;
+          }
+      else None
+    in
     ignore
-      (Scheduler.schedule_after t.sched d (fun () ->
+      (Scheduler.schedule_after t.sched ?tag d (fun () ->
            t.flying <- t.flying - 1;
            match Pid.Table.find_opt t.handlers dst with
            | Some handler ->

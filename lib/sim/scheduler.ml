@@ -1,16 +1,24 @@
+type tag = { actor : int; kind : string }
+
+let untagged = { actor = -1; kind = "" }
+
 type event = {
   time : Time.t;
   seq : int;
+  tag : tag;
   callback : unit -> unit;
   mutable cancelled : bool;
 }
 
 type token = event
 
+type candidate = event
+
 type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable fired : int;
+  mutable chooser : (candidate array -> int) option;
   queue : event Heap.t;
 }
 
@@ -19,39 +27,100 @@ let compare_events a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
-  { clock = Time.zero; next_seq = 0; fired = 0; queue = Heap.create ~cmp:compare_events () }
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    fired = 0;
+    chooser = None;
+    queue = Heap.create ~cmp:compare_events ();
+  }
 
 let now s = s.clock
 
-let schedule_at s time callback =
+let schedule_at s ?(tag = untagged) time callback =
   if Time.(time < s.clock) then
     invalid_arg
       (Format.asprintf "Scheduler.schedule_at: %a is in the past (now %a)" Time.pp time
          Time.pp s.clock);
-  let ev = { time; seq = s.next_seq; callback; cancelled = false } in
+  let ev = { time; seq = s.next_seq; tag; callback; cancelled = false } in
   s.next_seq <- s.next_seq + 1;
   Heap.insert s.queue ev;
   ev
 
-let schedule_after s d callback =
+let schedule_after s ?tag d callback =
   if d < 0 then invalid_arg "Scheduler.schedule_after: negative delay";
-  schedule_at s (Time.add s.clock d) callback
+  schedule_at s ?tag (Time.add s.clock d) callback
 
 let cancel _s token = token.cancelled <- true
 let pending s = Heap.length s.queue
 
-let step s =
-  let rec next () =
+let set_chooser s chooser = s.chooser <- chooser
+let choosing s = Option.is_some s.chooser
+
+let candidate_time (ev : candidate) = ev.time
+let candidate_tag (ev : candidate) = ev.tag
+let candidate_seq (ev : candidate) = ev.seq
+
+let fire s ev =
+  s.clock <- ev.time;
+  s.fired <- s.fired + 1;
+  ev.callback ()
+
+(* Pop every non-cancelled event sharing the minimal time, in seq
+   order. Cancelled events encountered on the way are dropped. *)
+let pop_ready s =
+  let rec head () =
     match Heap.pop s.queue with
-    | None -> false
-    | Some ev when ev.cancelled -> next ()
-    | Some ev ->
-      s.clock <- ev.time;
-      s.fired <- s.fired + 1;
-      ev.callback ();
-      true
+    | None -> None
+    | Some ev when ev.cancelled -> head ()
+    | Some ev -> Some ev
   in
-  next ()
+  match head () with
+  | None -> []
+  | Some first ->
+    let rec rest acc =
+      match Heap.peek s.queue with
+      | Some ev when ev.cancelled ->
+        ignore (Heap.pop s.queue);
+        rest acc
+      | Some ev when Time.compare ev.time first.time = 0 ->
+        ignore (Heap.pop s.queue);
+        rest (ev :: acc)
+      | Some _ | None -> List.rev acc
+    in
+    first :: rest []
+
+let pending_candidates s =
+  List.filter (fun ev -> not ev.cancelled) (Heap.to_sorted_list s.queue)
+
+let step s =
+  match s.chooser with
+  | None ->
+    let rec next () =
+      match Heap.pop s.queue with
+      | None -> false
+      | Some ev when ev.cancelled -> next ()
+      | Some ev ->
+        fire s ev;
+        true
+    in
+    next ()
+  | Some choose -> (
+    match pop_ready s with
+    | [] -> false
+    | [ ev ] ->
+      fire s ev;
+      true
+    | ready ->
+      let arr = Array.of_list ready in
+      let i = choose arr in
+      if i < 0 || i >= Array.length arr then
+        invalid_arg
+          (Printf.sprintf "Scheduler.step: chooser picked %d of %d candidates" i
+             (Array.length arr));
+      Array.iteri (fun j ev -> if j <> i then Heap.insert s.queue ev) arr;
+      fire s arr.(i);
+      true)
 
 let run_until s horizon =
   let rec loop () =

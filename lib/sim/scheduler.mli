@@ -8,7 +8,18 @@
 
     Callbacks may schedule further events, including at the current
     time (they fire later in the same tick). Scheduling in the past is
-    an error: the model's causality must be respected by construction. *)
+    an error: the model's causality must be respected by construction.
+
+    {b Choice points.} The model checker ({!Dds_check.Check}) needs to
+    explore {e every} order in which same-time events could fire, not
+    just the FIFO one. Installing a chooser with {!set_chooser} turns
+    each tick with two or more ready events into an explicit choice
+    point: the scheduler gathers all non-cancelled events at the
+    minimal queued time (in seq order — a canonical, replay-stable
+    enumeration) and asks the chooser which fires next; the rest are
+    re-queued and offered again. Without a chooser the behaviour is
+    exactly the historical FIFO order, so ordinary simulations are
+    untouched. *)
 
 type t
 (** A scheduler instance: clock + event queue. *)
@@ -17,18 +28,31 @@ type token
 (** Handle to a scheduled event, used to cancel it (e.g. a node's
     pending timer when the node leaves the system). *)
 
+type tag = { actor : int; kind : string }
+(** Checker-facing identity of an event. [actor] is the node the event
+    acts upon ([Pid.to_int]), or [-1] for global/untagged events; the
+    partial-order reduction only commutes events whose actors are both
+    non-negative and distinct. [kind] is a human-readable label
+    ("deliver write_ack p2->p0 ...", "timer", ...) used in rendered
+    schedules and state fingerprints. Events scheduled without a tag
+    get [{actor = -1; kind = ""}] and are treated as dependent with
+    everything — always sound, never unsound, merely less reduced. *)
+
+type candidate
+(** A ready event offered at a choice point. *)
+
 val create : unit -> t
 (** A scheduler with the clock at {!Time.zero} and no pending events. *)
 
 val now : t -> Time.t
 (** The current virtual time. *)
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> token
+val schedule_at : t -> ?tag:tag -> Time.t -> (unit -> unit) -> token
 (** [schedule_at s time f] queues [f] to run when the clock reaches
     [time].
     @raise Invalid_argument if [time] is before [now s]. *)
 
-val schedule_after : t -> int -> (unit -> unit) -> token
+val schedule_after : t -> ?tag:tag -> int -> (unit -> unit) -> token
 (** [schedule_after s d f] is [schedule_at s (Time.add (now s) d) f].
     @raise Invalid_argument if [d < 0]. *)
 
@@ -39,6 +63,26 @@ val cancel : t -> token -> unit
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     swept; useful only as an upper bound). *)
+
+val set_chooser : t -> (candidate array -> int) option -> unit
+(** [set_chooser s (Some f)] routes every subsequent tick with two or
+    more ready events through [f]: it receives the candidates in seq
+    order and returns the index to fire; the others are re-queued.
+    [set_chooser s None] restores FIFO order.
+    A chooser returning an out-of-range index raises
+    [Invalid_argument] at the next {!step}. *)
+
+val choosing : t -> bool
+(** Whether a chooser is currently installed. Subsystems use this to
+    decide whether paying for descriptive event tags is worthwhile. *)
+
+val candidate_time : candidate -> Time.t
+val candidate_tag : candidate -> tag
+val candidate_seq : candidate -> int
+
+val pending_candidates : t -> candidate list
+(** All non-cancelled queued events in (time, seq) order. O(n log n);
+    used by the checker to fingerprint scheduler state, and by tests. *)
 
 val step : t -> bool
 (** Fires the single next event, advancing the clock to its time.
