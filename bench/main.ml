@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- --tables   # experiment tables only
      dune exec bench/main.exe -- --bench    # bechamel only
      dune exec bench/main.exe -- --quick    # smaller parameters
-     dune exec bench/main.exe -- --jobs 4   # engine workers for the tables *)
+     dune exec bench/main.exe -- --jobs 4   # engine workers for the tables
+     dune exec bench/main.exe -- --baseline OLD.json --max-regress 25
+                                            # compare against a previous
+                                            # BENCH_results.json; exit 1 on
+                                            # regressions beyond the limit *)
 
 open Dds_sim
 open Dds_net
@@ -19,13 +23,25 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let tables_only = Array.exists (String.equal "--tables") Sys.argv
 let bench_only = Array.exists (String.equal "--bench") Sys.argv
 
-let jobs =
+let opt_arg name =
   let rec find i =
-    if i >= Array.length Sys.argv - 1 then 0
-    else if String.equal Sys.argv.(i) "--jobs" then int_of_string Sys.argv.(i + 1)
+    if i >= Array.length Sys.argv - 1 then None
+    else if String.equal Sys.argv.(i) name then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
-  try find 1 with Failure _ -> 0
+  find 1
+
+let jobs =
+  match opt_arg "--jobs" with
+  | Some s -> ( try int_of_string s with Failure _ -> 0)
+  | None -> 0
+
+let baseline = opt_arg "--baseline"
+
+let max_regress =
+  match opt_arg "--max-regress" with
+  | Some s -> ( try float_of_string s with Failure _ -> 25.0)
+  | None -> 25.0
 
 let scale x = if quick then Stdlib.max 1 (x / 4) else x
 
@@ -205,25 +221,36 @@ let run_tables ~pool () =
        (Sweep.nemesis_matrix ~pool ~n ~delta ~horizon:e24_horizon ~seed:61 ()));
 
   (* Engine scaling — the E24 matrix re-timed under dedicated pools of
-     1, 2 and 4 workers. Wall time includes pool setup/teardown, which
-     is what a CLI user pays too. *)
+     1, 2 and 4 workers, each with a profiler attached (its per-site
+     cost is a few array stores — see the profiler-overhead bechamel
+     pair). Wall time includes pool setup/teardown, which is what a
+     CLI user pays too; the summaries become BENCH_results.json's
+     [engine_profile] section. *)
   let time_with_jobs jobs =
+    let profile = Dds_profile.Profile.create ~workers:jobs () in
     let t0 = Unix.gettimeofday () in
-    Dds_engine.Pool.with_pool ~jobs (fun pool ->
+    Dds_engine.Pool.with_pool ~jobs ~profile (fun pool ->
         ignore (Sweep.nemesis_matrix ~pool ~n ~delta ~horizon:e24_horizon ~seed:61 ()));
-    Unix.gettimeofday () -. t0
+    (Unix.gettimeofday () -. t0, Dds_profile.Profile.summary profile)
   in
-  let walls = List.map (fun j -> (j, time_with_jobs j)) [ 1; 2; 4 ] in
-  let base = List.assoc 1 walls in
+  let runs = List.map (fun j -> (j, time_with_jobs j)) [ 1; 2; 4 ] in
+  let base = fst (List.assoc 1 runs) in
   let scaling =
     List.map
-      (fun (j, w) ->
+      (fun (j, (w, _)) ->
         { Tables.sc_jobs = j; sc_wall_s = w; sc_speedup = (if w > 0. then base /. w else 0.) })
-      walls
+      runs
   in
   show (Tables.engine_scaling ~case:"E24 nemesis matrix" scaling);
+  let profile_rows = List.map (fun (j, (w, s)) -> (j, w, s)) runs in
+  List.iter
+    (fun (j, _, (s : Dds_profile.Profile.summary)) ->
+      Format.printf "  profile jobs=%d: busy %.0f%%, %.3g minor words/job, %s@." j
+        (100.0 *. s.Dds_profile.Profile.s_busy_fraction)
+        s.Dds_profile.Profile.s_minor_words_per_job s.Dds_profile.Profile.s_dominant)
+    profile_rows;
 
-  (List.rev !acc, scaling)
+  (List.rev !acc, scaling, profile_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Explorer throughput *)
@@ -242,6 +269,9 @@ type checker_row = {
   ck_schedules : int;
   ck_wall_s : float;
   ck_per_s : float;
+  ck_cache_peak : int;  (** largest single subtree fingerprint cache *)
+  ck_cache_hit_rate : float;  (** prunes / (prunes + entries inserted) *)
+  ck_minor_per_sched : float;  (** minor words allocated per schedule *)
 }
 
 let run_checker_rows () =
@@ -262,16 +292,24 @@ let run_checker_rows () =
     }
   in
   let time ~naive jobs =
+    (* The profiler rides along for its allocation telemetry: minor
+       words are per-domain in OCaml 5, so per-job Gc deltas summed
+       over Job spans are the only number that stays right at jobs>1. *)
+    let profile = Dds_profile.Profile.create ~workers:jobs () in
     let t0 = Unix.gettimeofday () in
     let outcome =
-      Dds_engine.Pool.with_pool ~jobs (fun pool ->
+      Dds_engine.Pool.with_pool ~jobs ~profile (fun pool ->
           Dds_check.Check.run ~pool ~por:(not naive) ~state_cache:(not naive) p cfg)
     in
     let wall = Unix.gettimeofday () -. t0 in
+    let summary = Dds_profile.Profile.summary profile in
     match outcome with
     | Error e -> failwith e
     | Ok o ->
-      let n = o.Dds_check.Check.stats.Dds_check.Check.schedules in
+      let st = o.Dds_check.Check.stats in
+      let n = st.Dds_check.Check.schedules in
+      let hits = st.Dds_check.Check.state_prunes in
+      let misses = st.Dds_check.Check.cache_entries in
       {
         ck_label = (if naive then "naive DFS" else "sleep sets + state cache");
         ck_jobs = jobs;
@@ -279,6 +317,13 @@ let run_checker_rows () =
         ck_schedules = n;
         ck_wall_s = wall;
         ck_per_s = (if wall > 0. then float_of_int n /. wall else 0.);
+        ck_cache_peak = st.Dds_check.Check.cache_peak;
+        ck_cache_hit_rate =
+          (if hits + misses > 0 then float_of_int hits /. float_of_int (hits + misses)
+           else 0.0);
+        ck_minor_per_sched =
+          (if n > 0 then summary.Dds_profile.Profile.s_minor_words /. float_of_int n
+           else 0.0);
       }
   in
   let rows =
@@ -286,12 +331,13 @@ let run_checker_rows () =
   in
   Format.printf
     "@.#### Explorer throughput (check es, quorum=1, 1 drop, depth 20) ####@.@.";
-  Format.printf "  %-26s %4s %10s %8s %12s@." "mode" "jobs" "schedules" "wall s"
-    "schedules/s";
+  Format.printf "  %-26s %4s %10s %8s %12s %11s %6s %13s@." "mode" "jobs" "schedules"
+    "wall s" "schedules/s" "cache peak" "hit%" "minor w/sched";
   List.iter
     (fun r ->
-      Format.printf "  %-26s %4d %10d %8.3f %12.0f@." r.ck_label r.ck_jobs r.ck_schedules
-        r.ck_wall_s r.ck_per_s)
+      Format.printf "  %-26s %4d %10d %8.3f %12.0f %11d %6.1f %13.0f@." r.ck_label
+        r.ck_jobs r.ck_schedules r.ck_wall_s r.ck_per_s r.ck_cache_peak
+        (100.0 *. r.ck_cache_hit_rate) r.ck_minor_per_sched)
     rows;
   rows
 
@@ -426,6 +472,49 @@ let nemesis_noop_run () =
 let bench_nemesis_noop =
   Test.make ~name:"fault: es run, empty nemesis plan" (Staged.stage nemesis_noop_run)
 
+(* Profiler overhead, both layers. The probe pair prices one
+   Dds_sim.Probe.span with no handler installed (one ref load — the
+   cost every simulator phase pays when profiling is off) against the
+   ideal of no probe at all; the engine pair runs an identical
+   100-job batch through a jobs=1 pool with and without a recorder
+   attached, so the delta is the whole per-job recording cost (span +
+   two Gc.quick_stat calls). *)
+let bench_probe_bare =
+  Test.make ~name:"profile: 1k bare calls (no probe)"
+    (Staged.stage
+       (let sink = ref 0 in
+        fun () ->
+          for i = 1 to 1000 do
+            sink := !sink + i
+          done))
+
+let bench_probe_off =
+  Test.make ~name:"profile: 1k probe spans, handler off"
+    (Staged.stage
+       (let sink = ref 0 in
+        fun () ->
+          for i = 1 to 1000 do
+            Probe.span "bench" (fun () -> sink := !sink + i)
+          done))
+
+let pool_batch ~profiled () =
+  let profile =
+    if profiled then Some (Dds_profile.Profile.create ~workers:1 ()) else None
+  in
+  Dds_engine.Pool.with_pool ~jobs:1 ?profile (fun pool ->
+      ignore
+        (Dds_engine.Pool.map pool ~key:string_of_int
+           ~f:(fun x -> x * x)
+           (List.init 100 Fun.id)))
+
+let bench_pool_plain =
+  Test.make ~name:"profile: 100-job batch, recorder off"
+    (Staged.stage (pool_batch ~profiled:false))
+
+let bench_pool_profiled =
+  Test.make ~name:"profile: 100-job batch, recorder on"
+    (Staged.stage (pool_batch ~profiled:true))
+
 (* One Test.make per experiment table, at reduced scale, so the cost of
    regenerating each table is itself tracked over time. *)
 let bench_e1 =
@@ -493,6 +582,10 @@ let benchmark () =
         bench_obs_enabled;
         bench_obs_monitored;
         bench_nemesis_noop;
+        bench_probe_bare;
+        bench_probe_off;
+        bench_pool_plain;
+        bench_pool_profiled;
         bench_e1;
         bench_e2;
         bench_e4;
@@ -546,7 +639,7 @@ let bench_estimates results =
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let write_results_json ~tables ~scaling ~checker ~estimates =
+let write_results_json ~tables ~scaling ~profile_rows ~checker ~estimates =
   let module J = Dds_sim.Json in
   let json =
     J.Obj
@@ -568,6 +661,25 @@ let write_results_json ~tables ~scaling ~checker ~estimates =
                      ("speedup", J.Float r.Tables.sc_speedup);
                    ])
                scaling) );
+        ( "engine_profile",
+          J.List
+            (List.map
+               (fun (j, wall, (s : Dds_profile.Profile.summary)) ->
+                 J.Obj
+                   [
+                     ("jobs", J.Int j);
+                     ("wall_s", J.Float wall);
+                     ("busy_fraction", J.Float s.Dds_profile.Profile.s_busy_fraction);
+                     ("steal_attempts", J.Int s.Dds_profile.Profile.s_steal_attempts);
+                     ("steals", J.Int s.Dds_profile.Profile.s_steals);
+                     ( "steal_success_rate",
+                       J.Float s.Dds_profile.Profile.s_steal_success_rate );
+                     ("minor_words", J.Float s.Dds_profile.Profile.s_minor_words);
+                     ( "minor_words_per_job",
+                       J.Float s.Dds_profile.Profile.s_minor_words_per_job );
+                     ("dominant", J.String s.Dds_profile.Profile.s_dominant);
+                   ])
+               profile_rows) );
         ( "checker",
           J.List
             (List.map
@@ -580,6 +692,9 @@ let write_results_json ~tables ~scaling ~checker ~estimates =
                      ("schedules", J.Int r.ck_schedules);
                      ("wall_s", J.Float r.ck_wall_s);
                      ("schedules_per_s", J.Float r.ck_per_s);
+                     ("cache_peak", J.Int r.ck_cache_peak);
+                     ("cache_hit_rate", J.Float r.ck_cache_hit_rate);
+                     ("minor_words_per_schedule", J.Float r.ck_minor_per_sched);
                    ])
                checker) );
         ("tables", J.List (List.map Report.to_json tables));
@@ -592,12 +707,100 @@ let write_results_json ~tables ~scaling ~checker ~estimates =
   Format.printf "@.results written to BENCH_results.json (%d tables, %d benchmarks)@."
     (List.length tables) (List.length estimates)
 
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: `--baseline OLD.json --max-regress PCT`.
+
+   Wall-clock sections (engine_scaling, checker walls) are too noisy
+   to gate on shared CI runners; the comparison covers the bechamel
+   ns/run estimates (a slowdown beyond PCT% regresses) and the checker
+   throughput rows matched by mode+jobs (a schedules/s drop beyond
+   PCT% regresses). Names present on only one side are reported but
+   never fail the run, so old baselines predating a benchmark — or
+   this very section — stay usable. *)
+let read_baseline path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Ok s
+
+let compare_baseline ~path ~contents ~estimates ~checker =
+  let module J = Dds_sim.Json in
+  match Result.bind contents J.parse with
+  | Error e ->
+    Format.printf "@.baseline   : %s unreadable (%s) — comparison skipped@." path e;
+    true
+  | Ok base ->
+    Format.printf "@.#### Baseline comparison (vs %s, limit +%.0f%%) ####@.@." path
+      max_regress;
+    let regressions = ref 0 in
+    let compared = ref 0 in
+    let judge name ~base_v ~cur_v ~regress_pct =
+      incr compared;
+      let flag = regress_pct > max_regress in
+      if flag then incr regressions;
+      Format.printf "  %-42s %12.0f -> %12.0f  %+7.1f%%%s@." name base_v cur_v regress_pct
+        (if flag then "  REGRESSION" else "")
+    in
+    (match J.member "benchmarks" base with
+    | Some (J.Obj base_benches) ->
+      List.iter
+        (fun (name, ns) ->
+          match
+            Option.bind (List.assoc_opt name base_benches) (fun o ->
+                Option.bind (J.member "ns_per_run" o) J.to_float_opt)
+          with
+          | Some b when b > 0.0 ->
+            judge name ~base_v:b ~cur_v:ns ~regress_pct:(100.0 *. ((ns -. b) /. b))
+          | Some _ | None -> Format.printf "  %-42s (no baseline entry)@." name)
+        estimates
+    | Some _ | None ->
+      if estimates <> [] then Format.printf "  (baseline has no benchmarks section)@.");
+    (match J.member "checker" base with
+    | Some (J.List base_rows) ->
+      List.iter
+        (fun r ->
+          let matches row =
+            (match Option.bind (J.member "mode" row) J.to_string_opt with
+            | Some m -> String.equal m r.ck_label
+            | None -> false)
+            &&
+            match Option.bind (J.member "jobs" row) J.to_int_opt with
+            | Some j -> j = r.ck_jobs
+            | None -> false
+          in
+          match
+            Option.bind (List.find_opt matches base_rows) (fun row ->
+                Option.bind (J.member "schedules_per_s" row) J.to_float_opt)
+          with
+          | Some b when b > 0.0 ->
+            let name = Printf.sprintf "checker %s jobs=%d" r.ck_label r.ck_jobs in
+            (* Throughput: lower is worse. *)
+            judge name ~base_v:b ~cur_v:r.ck_per_s
+              ~regress_pct:(100.0 *. ((b -. r.ck_per_s) /. b))
+          | Some _ | None ->
+            Format.printf "  checker %s jobs=%d (no baseline entry)@." r.ck_label r.ck_jobs)
+        checker
+    | Some _ | None ->
+      if checker <> [] then Format.printf "  (baseline has no checker section)@.");
+    if !compared = 0 then begin
+      Format.printf "  nothing comparable — baseline accepted@.";
+      true
+    end
+    else begin
+      Format.printf "@.verdict    : %d compared, %d regression(s) beyond +%.0f%%@." !compared
+        !regressions max_regress;
+      !regressions = 0
+    end
+
 let () =
-  let tables, scaling =
+  let tables, scaling, profile_rows =
     if not bench_only then
       let jobs = if jobs <= 0 then Dds_engine.Pool.default_jobs () else jobs in
       Dds_engine.Pool.with_pool ~jobs (fun pool -> run_tables ~pool ())
-    else ([], [])
+    else ([], [], [])
   in
   let checker = if not bench_only then run_checker_rows () else [] in
   let estimates =
@@ -608,5 +811,15 @@ let () =
     end
     else []
   in
-  write_results_json ~tables ~scaling ~checker ~estimates;
-  Format.printf "@.done.@."
+  (* Slurp the baseline before writing results: `--baseline
+     BENCH_results.json` (the committed file this run overwrites) must
+     compare against the old numbers, not the ones just written. *)
+  let baseline_contents = Option.map (fun path -> (path, read_baseline path)) baseline in
+  write_results_json ~tables ~scaling ~profile_rows ~checker ~estimates;
+  let ok =
+    match baseline_contents with
+    | None -> true
+    | Some (path, contents) -> compare_baseline ~path ~contents ~estimates ~checker
+  in
+  Format.printf "@.done.@.";
+  if not ok then exit 1

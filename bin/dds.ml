@@ -102,6 +102,8 @@ type common = {
   liveness_k : int;  (** liveness deadline = k * delta ticks *)
   nemesis : Nemesis.plan option;  (** fault schedule to arm before running *)
   jobs : int;  (** engine workers for sweep/hunt; 0 = auto *)
+  eprofile : bool;  (** profile the engine; summary to stderr *)
+  profile_out : string option;  (** Chrome trace + summary JSON (implies eprofile) *)
 }
 
 (* A copy-pasteable repro of this run's configuration — echoed on
@@ -422,21 +424,42 @@ let jobs_t =
            the output is byte-identical for any N. 0 (the default) uses the machine's \
            recommended domain count; 1 runs inline.")
 
+let eprofile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile the experiment engine: per-domain activity spans (job / steal / idle / \
+           merge), per-job GC deltas and simulator phase timers are recorded and a \
+           summary (busy fraction, steal success rate, alloc/job, dominant cost) is \
+           printed to stderr. Off by default and free when off; never changes results \
+           or stdout.")
+
+let profile_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the engine profile as Chrome trace_event JSON (one lane per worker \
+           domain, loadable in chrome://tracing / Perfetto) with the summary attached \
+           under a top-level $(b,summary) key. Implies $(b,--profile).")
+
 let common_t =
   let make seed n delta churn policy horizon read_rate write_every gst wild trace
       dump_history trace_out trace_format metrics_out monitor dot_out churn_window
-      liveness_k nemesis jobs =
+      liveness_k nemesis jobs eprofile profile_out =
     {
       seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
       dump_history; trace_out; trace_format; metrics_out; monitor; dot_out; churn_window;
-      liveness_k; nemesis; jobs;
+      liveness_k; nemesis; jobs; eprofile; profile_out;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
     $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
     $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
-    $ liveness_k_t $ nemesis_t $ jobs_t)
+    $ liveness_k_t $ nemesis_t $ jobs_t $ eprofile_t $ profile_out_t)
 
 (* One converter for every subcommand that takes a protocol: parses
    against the registry, so an unknown name is rejected at the CLI
@@ -626,9 +649,14 @@ let scenario_cmd =
 (* One engine pool per sweep/hunt/check invocation. The summary (and
    the optional metrics dump notice) goes to stderr: stdout must stay
    byte-identical across worker counts, and CI diffs it. *)
-let with_engine' ~jobs ~metrics_out f =
+let with_engine' ?(profile = false) ?profile_out ~jobs ~metrics_out f =
   let jobs = if jobs <= 0 then Dds_engine.Pool.default_jobs () else jobs in
-  Dds_engine.Pool.with_pool ~jobs (fun pool ->
+  let recorder =
+    if profile || profile_out <> None then
+      Some (Dds_profile.Profile.create ~workers:jobs ())
+    else None
+  in
+  Dds_engine.Pool.with_pool ~jobs ?profile:recorder (fun pool ->
       let r = f pool in
       let stats = Dds_engine.Pool.stats pool in
       let cells = List.fold_left (fun a s -> a + s.Dds_engine.Pool.ws_jobs) 0 stats in
@@ -643,9 +671,23 @@ let with_engine' ~jobs ~metrics_out f =
           ^ "\n");
         Format.eprintf "engine metrics written to %s@." path
       | None -> ());
+      (match recorder with
+      | Some rec_ ->
+        (* Like the engine line: profile output is stderr-only, stdout
+           stays byte-identical with profiling on or off. *)
+        Format.eprintf "%a@." Dds_profile.Profile.pp_summary
+          (Dds_profile.Profile.summary rec_);
+        (match profile_out with
+        | Some path ->
+          write_file path (Json.to_string (Dds_profile.Profile.to_json rec_) ^ "\n");
+          Format.eprintf "engine profile written to %s@." path
+        | None -> ())
+      | None -> ());
       r)
 
-let with_engine c f = with_engine' ~jobs:c.jobs ~metrics_out:c.metrics_out f
+let with_engine c f =
+  with_engine' ~profile:c.eprofile ?profile_out:c.profile_out ~jobs:c.jobs
+    ~metrics_out:c.metrics_out f
 
 (* The sweep registry: every experiment table `dds sweep` can
    regenerate, with the one-line description `dds list` prints. The
@@ -671,7 +713,25 @@ let sweeps =
     ("nemesis", "fault-plan matrix: each nemesis vs each protocol");
   ]
 
+(* DESIGN.md experiment numbers as sweep aliases: `dds sweep e24` (or
+   `dds profile sweep e24`) is the E24 nemesis matrix. Only E-numbers
+   backed by a sweep appear; scenarios (E1–E3) and single-run
+   experiments keep their own subcommands. *)
+let sweep_aliases =
+  [
+    ("e4", "lemma2"); ("e5", "safety"); ("e9", "boundary"); ("e10", "versus");
+    ("e11", "msgs"); ("e12", "quorum"); ("e13", "threshold"); ("e14", "bursty");
+    ("e15", "loss"); ("e16", "joinopt"); ("e17", "broadcast"); ("e18", "consensus");
+    ("e19", "geo"); ("e21", "repair"); ("e22", "calibration"); ("e23", "sessions");
+    ("e24", "nemesis");
+  ]
+
 let run_sweep name c =
+  let name =
+    match List.assoc_opt (String.lowercase_ascii name) sweep_aliases with
+    | Some canonical -> canonical
+    | None -> name
+  in
   with_engine c @@ fun pool ->
   match name with
   | "lemma2" ->
@@ -845,16 +905,158 @@ let inspect_op_table spans op =
          (rows @ [ row "total" total ]))
   end
 
+(* A `--metrics-out` snapshot, made human-readable: the per-worker
+   engine gauges fold into one table instead of a wall of
+   `engine.w3.busy_s` lines; everything else prints as-is. *)
+let inspect_metrics path j =
+  let fields name = match Json.member name j with Some (Json.Obj kvs) -> kvs | _ -> [] in
+  let counters = fields "counters" in
+  let gauges = fields "gauges" in
+  let histograms = fields "histograms" in
+  Format.printf "%s: metrics snapshot — %d counter(s), %d gauge(s), %d histogram(s)@." path
+    (List.length counters) (List.length gauges) (List.length histograms);
+  if counters <> [] then
+    Report.print
+      (Report.make ~title:"counters" ~headers:[ "counter"; "value" ]
+         (List.map
+            (fun (k, v) ->
+              [ k; (match Json.to_int_opt v with Some i -> Report.cell_int i | None -> "?") ])
+            counters));
+  (* Fold engine.w<i>.<field> gauges into a per-worker table. *)
+  let worker_field k =
+    match Scanf.sscanf k "engine.w%d.%s" (fun w f -> (w, f)) with
+    | pair -> Some pair
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+  in
+  let per_worker = Hashtbl.create 8 in
+  let plain =
+    List.filter
+      (fun (k, v) ->
+        match worker_field k with
+        | Some (w, f) ->
+          let row =
+            match Hashtbl.find_opt per_worker w with
+            | Some row -> row
+            | None ->
+              let row = Hashtbl.create 4 in
+              Hashtbl.add per_worker w row;
+              row
+          in
+          Hashtbl.replace row f (Option.value ~default:Float.nan (Json.to_float_opt v));
+          false
+        | None -> true)
+      gauges
+  in
+  if Hashtbl.length per_worker > 0 then begin
+    let workers = List.sort compare (Hashtbl.fold (fun w _ acc -> w :: acc) per_worker []) in
+    let cell row f fmt =
+      match Hashtbl.find_opt row f with
+      | Some v when not (Float.is_nan v) -> fmt v
+      | _ -> "-"
+    in
+    Report.print
+      (Report.make ~title:"engine workers"
+         ~headers:[ "worker"; "jobs"; "steals"; "busy_s" ]
+         (List.map
+            (fun w ->
+              let row = Hashtbl.find per_worker w in
+              [
+                string_of_int w;
+                cell row "jobs" (fun v -> Report.cell_int (int_of_float v));
+                cell row "steals" (fun v -> Report.cell_int (int_of_float v));
+                cell row "busy_s" Report.cell_float;
+              ])
+            workers))
+  end;
+  if plain <> [] then
+    Report.print
+      (Report.make ~title:"gauges" ~headers:[ "gauge"; "value" ]
+         (List.map
+            (fun (k, v) ->
+              [
+                k;
+                (match Json.to_float_opt v with Some f -> Report.cell_float f | None -> "?");
+              ])
+            plain));
+  List.iter
+    (fun (k, h) ->
+      match (Json.member "count" h, Json.member "sum" h) with
+      | Some count, Some sum ->
+        Format.printf "histogram  : %s n=%s sum=%s@." k
+          (match Json.to_int_opt count with Some i -> string_of_int i | None -> "?")
+          (match Json.to_float_opt sum with Some f -> Printf.sprintf "%g" f | None -> "?")
+      | _ -> Format.printf "histogram  : %s@." k)
+    histograms;
+  `Ok ()
+
+(* A `--profile-out` file: echo the embedded summary without
+   re-deriving it, plus the lane count from the trace itself. *)
+let inspect_engine_profile path j =
+  let events =
+    match Json.member "traceEvents" j with Some (Json.List evs) -> evs | _ -> []
+  in
+  let summary = Json.member "summary" j in
+  Format.printf "%s: engine profile — %d trace event(s)@." path (List.length events);
+  (match summary with
+  | None -> ()
+  | Some s ->
+    let str name = Option.bind (Json.member name s) Json.to_string_opt in
+    let num name = Option.bind (Json.member name s) Json.to_float_opt in
+    let int name = Option.bind (Json.member name s) Json.to_int_opt in
+    (match (num "wall_s", int "jobs", num "busy_fraction") with
+    | Some w, Some jobs, Some busy ->
+      Format.printf "profile    : %d job(s), %.3fs wall, %.0f%% busy@." jobs w (100.0 *. busy)
+    | _ -> ());
+    (match (int "steal_attempts", int "steals") with
+    | Some att, Some st when att > 0 ->
+      Format.printf "steals     : %d/%d attempt(s) succeeded@." st att
+    | _ -> ());
+    (match (num "minor_words_per_job", num "minor_words") with
+    | Some per, Some total ->
+      Format.printf "alloc      : %.3g minor words/job (%.3g total)@." per total
+    | _ -> ());
+    (match Json.member "workers" s with
+    | Some (Json.List ws) ->
+      Report.print
+        (Report.make ~title:"engine workers"
+           ~headers:[ "worker"; "jobs"; "busy_s"; "idle_s"; "busy%"; "steals" ]
+           (List.map
+              (fun w ->
+                let wint name = Option.bind (Json.member name w) Json.to_int_opt in
+                let wnum name = Option.bind (Json.member name w) Json.to_float_opt in
+                let i name = match wint name with Some v -> Report.cell_int v | None -> "-" in
+                let f name = match wnum name with Some v -> Report.cell_float v | None -> "-" in
+                let pct name =
+                  match wnum name with
+                  | Some v -> Printf.sprintf "%.0f" (100.0 *. v)
+                  | None -> "-"
+                in
+                [ i "id"; i "jobs"; f "busy_s"; f "idle_s"; pct "busy_fraction"; i "steals" ])
+              ws))
+    | _ -> ());
+    (match str "dominant" with
+    | Some d when d <> "" -> Format.printf "dominant   : %s@." d
+    | _ -> ()));
+  `Ok ()
+
 let run_inspect path =
   match read_file path with
   | exception Sys_error e -> `Error (false, e)
   | text ->
-  (* Format auto-detection: a chrome trace is one JSON object with a
-     traceEvents array; anything else is treated as JSONL (parsed
-     leniently — a run killed mid-write leaves a partial last line,
-     which should cost a warning, not the whole summary). *)
+  (* Format auto-detection: an engine profile is a chrome object with
+     our summary attached; a metrics snapshot has counters/gauges; any
+     other chrome trace is one JSON object with a traceEvents array;
+     anything else is treated as JSONL (parsed leniently — a run
+     killed mid-write leaves a partial last line, which should cost a
+     warning, not the whole summary). *)
+  match Json.parse text with
+  | Ok j when Json.member "traceEvents" j <> None && Json.member "summary" j <> None ->
+    inspect_engine_profile path j
+  | Ok j when Json.member "counters" j <> None && Json.member "gauges" j <> None ->
+    inspect_metrics path j
+  | parse_result ->
   let parsed =
-    match Json.parse text with
+    match parse_result with
     | Ok j when Json.member "traceEvents" j <> None -> Export.events_of_chrome j
     | Ok _ | Error _ -> (
       match Export.events_of_jsonl_lenient text with
@@ -1106,6 +1308,57 @@ let run_hunt (proto : Protocol.t) plans profile no_shrink c =
   | Error e -> `Error (false, e)
   | Ok params -> drive (module R.D) params
 
+(* Shared term builders: the plain subcommands and the [dds profile]
+   group reuse the same argument sets; [forced_profile] is the only
+   difference (the group turns the engine profiler on). *)
+let force_profile ~forced_profile c = if forced_profile then { c with eprofile = true } else c
+
+let hunt_term ~forced_profile =
+  let plans_t =
+    Arg.(
+      value & opt int 25
+      & info [ "plans"; "runs" ] ~docv:"N" ~doc:"How many seeds (and random plans) to try.")
+  in
+  let faults_t =
+    Arg.(
+      value
+      & opt (enum [ ("any", Nemesis.Any); ("within", Nemesis.Within { slack = 0 }) ]) Nemesis.Any
+      & info [ "faults" ] ~docv:"SPACE"
+          ~doc:
+            "Plan space: $(b,any) draws from the full arsenal (partitions, drops, \
+             over-delta delays, mass crashes — assumption-breaking allowed); $(b,within) \
+             draws only faults the paper's model tolerates (duplicates, bounded churn \
+             bursts, crash-with-recovery), so such a hunt must come back clean. (Until \
+             the engine profiler arrived this was spelled $(b,--profile).)")
+  in
+  let no_shrink_t =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report the first counterexample without minimizing it.")
+  in
+  Term.(
+    ret
+      (const (fun pos flag plans faults no_shrink c ->
+           resolve_protocol pos flag (fun p ->
+               run_hunt p plans faults no_shrink (force_profile ~forced_profile c)))
+      $ protocol_pos_t $ protocol_flag_t $ plans_t $ faults_t $ no_shrink_t $ common_t))
+
+let sweep_term ~forced_profile =
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SWEEP"
+          ~doc:
+            ("One of: "
+            ^ String.concat ", " (List.map fst sweeps)
+            ^ " — or an experiment alias e4..e24 (see $(b,dds list))."))
+  in
+  Term.(
+    ret
+      (const (fun name c -> run_sweep name (force_profile ~forced_profile c))
+      $ name_t $ common_t))
+
 let hunt_cmd =
   let doc =
     "Randomized nemesis search: N seeds each run a seed-derived random fault plan (or the \
@@ -1113,44 +1366,11 @@ let hunt_cmd =
      counterexample and echoed as a copy-pasteable $(b,dds run) repro line. Exits \
      non-zero iff a violation was found."
   in
-  let plans_t =
-    Arg.(
-      value & opt int 25
-      & info [ "plans"; "runs" ] ~docv:"N" ~doc:"How many seeds (and random plans) to try.")
-  in
-  let profile_t =
-    Arg.(
-      value
-      & opt (enum [ ("any", Nemesis.Any); ("within", Nemesis.Within { slack = 0 }) ]) Nemesis.Any
-      & info [ "profile" ] ~docv:"PROFILE"
-          ~doc:
-            "Plan space: $(b,any) draws from the full arsenal (partitions, drops, \
-             over-delta delays, mass crashes — assumption-breaking allowed); $(b,within) \
-             draws only faults the paper's model tolerates (duplicates, bounded churn \
-             bursts, crash-with-recovery), so such a hunt must come back clean.")
-  in
-  let no_shrink_t =
-    Arg.(
-      value & flag
-      & info [ "no-shrink" ] ~doc:"Report the first counterexample without minimizing it.")
-  in
-  Cmd.v (Cmd.info "hunt" ~doc)
-    Term.(
-      ret
-        (const (fun pos flag plans profile no_shrink c ->
-             resolve_protocol pos flag (fun p -> run_hunt p plans profile no_shrink c))
-        $ protocol_pos_t $ protocol_flag_t $ plans_t $ profile_t $ no_shrink_t $ common_t))
+  Cmd.v (Cmd.info "hunt" ~doc) (hunt_term ~forced_profile:false)
 
 let sweep_cmd =
   let doc = "Regenerate one experiment table (see DESIGN.md's index or $(b,dds list))." in
-  let name_t =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"SWEEP"
-          ~doc:("One of: " ^ String.concat ", " (List.map fst sweeps) ^ "."))
-  in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ name_t $ common_t))
+  Cmd.v (Cmd.info "sweep" ~doc) (sweep_term ~forced_profile:false)
 
 (* check *)
 
@@ -1159,7 +1379,7 @@ let sweep_cmd =
    table goes to stdout (byte-identical at any --jobs); the engine
    summary goes to stderr like sweep/hunt. *)
 let run_check (p : Protocol.t) nodes delta writes reads joins quorum drop_budget crash_budget
-    depth_bound preempt_bound schedule_out naive frontier jobs =
+    depth_bound preempt_bound schedule_out naive frontier jobs eprofile profile_out =
   let cfg =
     {
       Dds_check.Schedule.proto = p.Protocol.name;
@@ -1175,7 +1395,7 @@ let run_check (p : Protocol.t) nodes delta writes reads joins quorum drop_budget
       preempt_bound;
     }
   in
-  with_engine' ~jobs ~metrics_out:None @@ fun pool ->
+  with_engine' ~profile:eprofile ?profile_out ~jobs ~metrics_out:None @@ fun pool ->
   match
     Dds_check.Check.run ~pool ~por:(not naive) ~state_cache:(not naive) ~frontier p cfg
   with
@@ -1212,15 +1432,15 @@ let run_check (p : Protocol.t) nodes delta writes reads joins quorum drop_budget
           (Dds_check.Schedule.to_string v.Dds_check.Check.schedule));
       `Error (false, "check found a violating schedule"))
 
-let check_cmd =
-  let doc =
-    "Explore $(i,every) schedule of a small scripted deployment up to the given bounds: \
-     at each tick where several events are ready the scheduler branches on which fires \
-     first, and the bounded adversary branches on drop-or-deliver per message and \
-     crash-or-not at fixed ticks. Terminal runs are judged against regularity (and \
-     atomicity for protocols that promise it); the first violating schedule is emitted \
-     in a replayable format. Exits non-zero iff a violation was found."
-  in
+let check_doc =
+  "Explore $(i,every) schedule of a small scripted deployment up to the given bounds: \
+   at each tick where several events are ready the scheduler branches on which fires \
+   first, and the bounded adversary branches on drop-or-deliver per message and \
+   crash-or-not at fixed ticks. Terminal runs are judged against regularity (and \
+   atomicity for protocols that promise it); the first violating schedule is emitted \
+   in a replayable format. Exits non-zero iff a violation was found."
+
+let check_term ~forced_profile =
   let nodes_t =
     Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"INT" ~doc:"Founding system size.")
   in
@@ -1294,18 +1514,43 @@ let check_cmd =
             "Parallel partitioning width target. Part of the exploration shape (counts \
              are only comparable at equal frontier), independent of --jobs.")
   in
-  Cmd.v
-    (Cmd.info "check" ~doc)
-    Term.(
-      ret
-        (const (fun pos flag nodes delta writes reads joins quorum drop crash depth preempt
-                    out naive frontier jobs ->
-             resolve_protocol pos flag (fun p ->
-                 run_check p nodes delta writes reads joins quorum drop crash depth preempt
-                   out naive frontier jobs))
-        $ protocol_pos_t $ protocol_flag_t $ nodes_t $ delta_t $ writes_t $ reads_t
-        $ joins_t $ quorum_t $ drop_t $ crash_t $ depth_t $ preempt_t $ schedule_out_t
-        $ naive_t $ frontier_t $ jobs_t))
+  Term.(
+    ret
+      (const (fun pos flag nodes delta writes reads joins quorum drop crash depth preempt
+                  out naive frontier jobs eprofile profile_out ->
+           resolve_protocol pos flag (fun p ->
+               run_check p nodes delta writes reads joins quorum drop crash depth preempt
+                 out naive frontier jobs (eprofile || forced_profile) profile_out))
+      $ protocol_pos_t $ protocol_flag_t $ nodes_t $ delta_t $ writes_t $ reads_t
+      $ joins_t $ quorum_t $ drop_t $ crash_t $ depth_t $ preempt_t $ schedule_out_t
+      $ naive_t $ frontier_t $ jobs_t $ eprofile_t $ profile_out_t))
+
+let check_cmd = Cmd.v (Cmd.info "check" ~doc:check_doc) (check_term ~forced_profile:false)
+
+(* profile — the same sweep/hunt/check commands with the engine
+   profiler forced on: `dds profile sweep e24 --jobs 4 --profile-out
+   p.json` is the canonical way to see where domain time goes. *)
+
+let profile_cmd =
+  let doc =
+    "Run $(b,sweep), $(b,hunt) or $(b,check) with the engine profiler on: per-domain \
+     activity timelines (job/steal/idle/merge spans), per-job GC deltas and simulator \
+     phase timers. The summary goes to stderr; $(b,--profile-out FILE) writes a Chrome \
+     trace_event JSON (one lane per worker domain) with the summary attached. Results \
+     and stdout are identical to the unprofiled commands."
+  in
+  Cmd.group (Cmd.info "profile" ~doc)
+    [
+      Cmd.v
+        (Cmd.info "sweep" ~doc:"Profiled $(b,dds sweep) (same arguments).")
+        (sweep_term ~forced_profile:true);
+      Cmd.v
+        (Cmd.info "hunt" ~doc:"Profiled $(b,dds hunt) (same arguments).")
+        (hunt_term ~forced_profile:true);
+      Cmd.v
+        (Cmd.info "check" ~doc:"Profiled $(b,dds check) (same arguments).")
+        (check_term ~forced_profile:true);
+    ]
 
 (* list *)
 
@@ -1322,7 +1567,15 @@ let run_list () =
         | None -> "no churn bound (static group)"))
     Protocol.all;
   Format.printf "@.sweeps:@.";
-  List.iter (fun (name, doc) -> Format.printf "  %-12s %s@." name doc) sweeps;
+  List.iter
+    (fun (name, doc) ->
+      let alias =
+        match List.find_opt (fun (_, s) -> s = name) sweep_aliases with
+        | Some (e, _) -> e
+        | None -> ""
+      in
+      Format.printf "  %-12s %-4s %s@." name alias doc)
+    sweeps;
   `Ok ()
 
 let list_cmd =
@@ -1342,6 +1595,7 @@ let main_cmd =
       audit_cmd;
       hunt_cmd;
       check_cmd;
+      profile_cmd;
       list_cmd;
     ]
 

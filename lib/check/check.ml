@@ -13,6 +13,8 @@ type stats = {
   sleep_skips : int;
   preempt_skips : int;
   max_depth : int;
+  cache_entries : int;
+  cache_peak : int;
 }
 
 type violation = { schedule : Schedule.t; lines : string list; at_schedule : int }
@@ -477,6 +479,15 @@ let dfs ~exec ~por ~state_cache ~(cfg : Schedule.config) (root : node) : job_res
         in
         run_path (top.fs.f_path @ [ dec ]) child_sleep child_preempts)
   done;
+  (* Entries are only ever added, so the cache's final population is
+     its peak; every miss inserts exactly one entry, so this is also
+     the miss count (hit rate = state_prunes / (state_prunes +
+     cache_entries)). *)
+  let cache_size =
+    match cache with
+    | None -> 0
+    | Some c -> Hashtbl.fold (fun _ entries acc -> acc + List.length !entries) c 0
+  in
   {
     jr_stats =
       {
@@ -486,6 +497,8 @@ let dfs ~exec ~por ~state_cache ~(cfg : Schedule.config) (root : node) : job_res
         sleep_skips = !sleep_skips;
         preempt_skips = !preempt_skips;
         max_depth = !max_depth;
+        cache_entries = cache_size;
+        cache_peak = cache_size;
       };
     jr_violation = !violation;
   }
@@ -556,6 +569,8 @@ let zero =
     sleep_skips = 0;
     preempt_skips = 0;
     max_depth = 0;
+    cache_entries = 0;
+    cache_peak = 0;
   }
 
 let merge (cfg : Schedule.config) (items : (job_result, leaf) Either.t list) : outcome =
@@ -593,6 +608,8 @@ let merge (cfg : Schedule.config) (items : (job_result, leaf) Either.t list) : o
             sleep_skips = !st.sleep_skips + s.sleep_skips;
             preempt_skips = !st.preempt_skips + s.preempt_skips;
             max_depth = Stdlib.max !st.max_depth s.max_depth;
+            cache_entries = !st.cache_entries + s.cache_entries;
+            cache_peak = Stdlib.max !st.cache_peak s.cache_peak;
           })
     items;
   {

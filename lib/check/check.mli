@@ -47,6 +47,14 @@ type stats = {
   sleep_skips : int;  (** branches skipped by sleep-set POR *)
   preempt_skips : int;  (** branches skipped by the preemption budget *)
   max_depth : int;  (** deepest decision sequence executed *)
+  cache_entries : int;
+      (** fingerprint-cache entries inserted across all subtree caches
+          — one per miss, so the hit rate is
+          [state_prunes /. (state_prunes + cache_entries)] *)
+  cache_peak : int;
+      (** largest single subtree cache (entries are only added, so the
+          final population is the peak) — the per-job memory cost of
+          state caching *)
 }
 
 type violation = {

@@ -197,10 +197,17 @@ module Make (P : Register_intf.PROTOCOL) = struct
   let crash t pid = depart t ~crashed:true ~who:"crash" pid
 
   let create cfg params =
-    let root = Rng.create ~seed:cfg.seed in
-    let net_rng = Rng.split root in
-    let churn_rng = Rng.split root in
-    let workload_rng = Rng.split root in
+    (* Probe phases so an attached engine profiler can attribute cell
+       setup cost; with no handler installed each is one ref load. *)
+    Probe.span "deploy" @@ fun () ->
+    let net_rng, churn_rng, workload_rng =
+      Probe.span "rng" (fun () ->
+          let root = Rng.create ~seed:cfg.seed in
+          let net_rng = Rng.split root in
+          let churn_rng = Rng.split root in
+          let workload_rng = Rng.split root in
+          (net_rng, churn_rng, workload_rng))
+    in
     let sched = Scheduler.create () in
     let metrics = Metrics.create () in
     let events = Event.create ~enabled:cfg.events_enabled () in

@@ -1,3 +1,5 @@
+module Profile = Dds_profile.Profile
+
 type 'r job = { key : string; run : unit -> 'r }
 
 exception Job_failed of { key : string; exn : exn }
@@ -12,6 +14,10 @@ type batch = {
   remaining : int Atomic.t;  (** jobs not yet finished (run or skipped) *)
   failed : (int * string * exn) option Atomic.t;
       (** first failure recorded; once set, unstarted jobs are skipped *)
+  drained : int Atomic.t;
+      (** spawned workers that have left [work]; the submitter waits
+          for all of them before releasing the batch, so per-worker
+          stats and profile buffers are quiescent when [run] returns *)
 }
 
 type state = Idle | Running of batch | Stopped
@@ -29,6 +35,10 @@ type t = {
   stat_busy : float array;
   mutable batch_count : int;
   mutable wall_total : float;
+  profile : Profile.t option;
+      (* When present, every instrumented site below records into the
+         worker's own span buffer; when absent each site is one
+         [option] branch — profiling off stays free. *)
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -46,8 +56,28 @@ let record_failure batch index key exn =
 let run_job t w batch (j : packed) =
   if Atomic.get batch.failed = None then begin
     let t0 = Unix.gettimeofday () in
-    (try j.prun () with exn -> record_failure batch j.index j.pkey exn);
-    t.stat_busy.(w) <- t.stat_busy.(w) +. (Unix.gettimeofday () -. t0);
+    (match t.profile with
+    | None ->
+      (try j.prun () with exn -> record_failure batch j.index j.pkey exn);
+      t.stat_busy.(w) <- t.stat_busy.(w) +. (Unix.gettimeofday () -. t0)
+    | Some p ->
+      let g0 = Gc.quick_stat () in
+      (* quick_stat's minor_words only advances at minor-collection
+         boundaries; Gc.minor_words reads the live young pointer, so
+         jobs shorter than one minor heap still report their words.
+         Both are domain-local, which is exactly what a per-job delta
+         on the running domain needs. *)
+      let m0 = Gc.minor_words () in
+      (try j.prun () with exn -> record_failure batch j.index j.pkey exn);
+      let t1 = Unix.gettimeofday () in
+      let g1 = Gc.quick_stat () in
+      Profile.record_job p ~worker:w ~label:j.pkey ~t0 ~t1
+        ~minor:(Gc.minor_words () -. m0)
+        ~promoted:(g1.Gc.promoted_words -. g0.Gc.promoted_words)
+        ~major:(g1.Gc.major_words -. g0.Gc.major_words)
+        ~minor_cols:(g1.Gc.minor_collections - g0.Gc.minor_collections)
+        ~major_cols:(g1.Gc.major_collections - g0.Gc.major_collections);
+      t.stat_busy.(w) <- t.stat_busy.(w) +. (t1 -. t0));
     t.stat_jobs.(w) <- t.stat_jobs.(w) + 1
   end;
   ignore (Atomic.fetch_and_add batch.remaining (-1))
@@ -59,13 +89,34 @@ let run_job t w batch (j : packed) =
 let work t w batch =
   let n = Array.length batch.deques in
   let idle = ref 0 in
+  (* With a recorder attached, stretches of not-finding-work coalesce
+     into one Idle span [idle_since, end); nan means "not idle". *)
+  let idle_since = ref Float.nan in
+  let flush_idle t1 =
+    if not (Float.is_nan !idle_since) then begin
+      (match t.profile with
+      | Some p when t1 > !idle_since ->
+        Profile.record p ~worker:w ~kind:Profile.Idle ~label:"" ~t0:!idle_since ~t1
+      | _ -> ());
+      idle_since := Float.nan
+    end
+  in
   let rec loop () =
     match Deque.pop batch.deques.(w) with
     | Some j ->
+      flush_idle (if t.profile = None then 0.0 else Unix.gettimeofday ());
       idle := 0;
       run_job t w batch j;
       loop ()
     | None ->
+      let scan_t0 =
+        match t.profile with
+        | None -> 0.0
+        | Some _ ->
+          let now = Unix.gettimeofday () in
+          if Float.is_nan !idle_since then idle_since := now;
+          now
+      in
       let stolen = ref None in
       let v = ref 1 in
       while !stolen = None && !v < n do
@@ -74,8 +125,19 @@ let work t w batch =
         | None -> ());
         incr v
       done;
+      (match t.profile with
+      | Some p when n > 1 -> Profile.steal_attempt p ~worker:w ~success:(!stolen <> None)
+      | _ -> ());
       (match !stolen with
       | Some j ->
+        (* Close the idle stretch at the scan start so the Steal span
+           [scan_t0, now) stays disjoint from it. *)
+        flush_idle scan_t0;
+        (match t.profile with
+        | Some p ->
+          Profile.record p ~worker:w ~kind:Profile.Steal ~label:"" ~t0:scan_t0
+            ~t1:(Unix.gettimeofday ())
+        | None -> ());
         idle := 0;
         t.stat_steals.(w) <- t.stat_steals.(w) + 1;
         run_job t w batch j;
@@ -85,11 +147,16 @@ let work t w batch =
           incr idle;
           if !idle land 63 = 0 then Unix.sleepf 0.0002 else Domain.cpu_relax ();
           loop ()
-        end)
+        end
+        else flush_idle (if t.profile = None then 0.0 else Unix.gettimeofday ()))
   in
   loop ()
 
 let worker_loop t w =
+  (* Bind this domain to its span buffer once: Probe phases raised by
+     job bodies land in the right lane. Worker domains live and die
+     with the pool, so there is nothing to restore. *)
+  (match t.profile with Some p -> Profile.set_current p ~worker:w | None -> ());
   let rec wait last_gen =
     Mutex.lock t.lock;
     let rec block () =
@@ -106,11 +173,12 @@ let worker_loop t w =
     | None -> ()
     | Some (gen, batch) ->
       work t w batch;
+      ignore (Atomic.fetch_and_add batch.drained 1);
       wait gen
   in
   wait 0
 
-let create ?jobs () =
+let create ?jobs ?profile () =
   let workers = Stdlib.max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   let t =
     {
@@ -125,6 +193,7 @@ let create ?jobs () =
       stat_busy = Array.make workers 0.0;
       batch_count = 0;
       wall_total = 0.0;
+      profile;
     }
   in
   t.domains <- List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
@@ -146,8 +215,10 @@ let shutdown t =
     t.domains <- []
   end
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let profile t = t.profile
+
+let with_pool ?jobs ?profile f =
+  let t = create ?jobs ?profile () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let run_batch t packed =
@@ -156,11 +227,30 @@ let run_batch t packed =
   | Idle -> ()
   | Running _ -> invalid_arg "Pool.run: pool is already running a batch"
   | Stopped -> invalid_arg "Pool.run: pool is shut down");
+  (* The submitting domain doubles as worker 0: bind it for the
+     duration of the batch (and restore after — unlike the spawned
+     domains it outlives the pool). *)
+  let saved =
+    match t.profile with
+    | None -> None
+    | Some p ->
+      let prev = Profile.get_current () in
+      Profile.set_current p ~worker:0;
+      Some prev
+  in
+  Fun.protect
+    ~finally:(fun () -> match saved with Some prev -> Profile.restore prev | None -> ())
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let failed =
     if t.workers = 1 || njobs <= 1 then begin
       let batch =
-        { deques = [||]; remaining = Atomic.make njobs; failed = Atomic.make None }
+        {
+          deques = [||];
+          remaining = Atomic.make njobs;
+          failed = Atomic.make None;
+          drained = Atomic.make 0;
+        }
       in
       List.iter (fun j -> run_job t 0 batch j) packed;
       Atomic.get batch.failed
@@ -171,13 +261,29 @@ let run_batch t packed =
          ... — the stealing protocol rebalances whatever this gets
          wrong, and the slot array makes placement invisible. *)
       List.iteri (fun i j -> Deque.push deques.(i mod t.workers) j) packed;
-      let batch = { deques; remaining = Atomic.make njobs; failed = Atomic.make None } in
+      let batch =
+        {
+          deques;
+          remaining = Atomic.make njobs;
+          failed = Atomic.make None;
+          drained = Atomic.make 0;
+        }
+      in
       Mutex.lock t.lock;
       t.state <- Running batch;
       t.generation <- t.generation + 1;
       Condition.broadcast t.cond;
       Mutex.unlock t.lock;
       work t 0 batch;
+      (* Drain barrier: the batch stays [Running] until here, so every
+         spawned worker is guaranteed to enter [work] for this
+         generation and acknowledge leaving it. Once all have, their
+         final idle spans are flushed and no per-worker slot is being
+         written — [stats] / profile reads after [run] see a settled
+         batch. The wait is one last failed scan per worker, µs-scale. *)
+      while Atomic.get batch.drained < t.workers - 1 do
+        Domain.cpu_relax ()
+      done;
       Mutex.lock t.lock;
       t.state <- Idle;
       Mutex.unlock t.lock;
@@ -200,10 +306,19 @@ let run t (jobs : 'r job list) : 'r list =
       jobs
   in
   run_batch t packed;
-  List.init n (fun i ->
-      match out.(i) with
-      | Some r -> r
-      | None -> raise (Job_failed { key = (List.nth jobs i).key; exn = Exit }))
+  let collect () =
+    List.init n (fun i ->
+        match out.(i) with
+        | Some r -> r
+        | None -> raise (Job_failed { key = (List.nth jobs i).key; exn = Exit }))
+  in
+  match t.profile with
+  | None -> collect ()
+  | Some p ->
+    let t0 = Unix.gettimeofday () in
+    let r = collect () in
+    Profile.record p ~worker:0 ~kind:Profile.Merge ~label:"" ~t0 ~t1:(Unix.gettimeofday ());
+    r
 
 let map t ~key ~f xs = run t (List.map (fun x -> { key = key x; run = (fun () -> f x) }) xs)
 

@@ -34,9 +34,19 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs] defaults
     to. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?profile:Dds_profile.Profile.t -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
-    least 1 total worker; default {!default_jobs}). *)
+    least 1 total worker; default {!default_jobs}).
+
+    When [profile] is given, the pool records per-domain activity
+    spans into it — one [Job] span (with [Gc.quick_stat] deltas) per
+    job, [Steal] spans for successful steal scans, coalesced [Idle]
+    spans, a [Merge] span around result collection — and binds each
+    worker domain so {!Dds_sim.Probe.span} phases inside job bodies
+    land in the right lane. The recorder must have been created with
+    [~workers] at least the pool's worker count. Without [profile]
+    every instrumented site is a single [option] branch. Profiling
+    never changes results: span recording is observation only. *)
 
 val jobs : t -> int
 (** Worker count, including the submitting domain. *)
@@ -45,8 +55,11 @@ val shutdown : t -> unit
 (** Stops and joins every worker domain. Idempotent; after shutdown
     the pool rejects new batches ([Invalid_argument]). *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?profile:Dds_profile.Profile.t -> (t -> 'a) -> 'a
 (** [create], run, and {!shutdown} even on exceptions. *)
+
+val profile : t -> Dds_profile.Profile.t option
+(** The recorder this pool was created with, if any. *)
 
 val run : t -> 'r job list -> 'r list
 (** Runs a batch and returns results in submission order (canonical

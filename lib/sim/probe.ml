@@ -1,0 +1,12 @@
+type handler = { enter : string -> unit; exit : string -> unit }
+
+let handler : handler option ref = ref None
+
+let set_handler h = handler := h
+
+let span name f =
+  match !handler with
+  | None -> f ()
+  | Some h ->
+    h.enter name;
+    Fun.protect ~finally:(fun () -> h.exit name) f

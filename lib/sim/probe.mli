@@ -1,0 +1,24 @@
+(** Settable phase-timing hook.
+
+    [span name f] times [f] under [name] when a handler is installed
+    and is a plain call otherwise — one load and one branch, so
+    instrumented hot paths (deployment construction, rng seeding,
+    result merging) cost nothing in unprofiled runs.
+
+    The simulator side only ever {e emits} through this interface; the
+    engine profiler (lib/profile) installs the one handler at startup
+    when profiling is requested. Handlers must be installed before any
+    worker domain is spawned and left in place until the process
+    exits: the reference is written once and then only read. *)
+
+type handler = {
+  enter : string -> unit;  (** called with the phase name before [f] *)
+  exit : string -> unit;  (** called with the same name after [f], even on exceptions *)
+}
+
+val set_handler : handler option -> unit
+(** Install (or clear) the process-wide handler. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], bracketed by the handler when one is
+    installed. Exceptions propagate; [exit] still runs. *)
