@@ -342,6 +342,56 @@ let run_checker_rows () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Idle-path CPU probe *)
+
+(* One straggler job sleeps ~50ms on worker 0 while the other workers'
+   deques are already drained, so they sit in the steal-scan idle loop
+   the whole time. With the exponential backoff in Pool.work the
+   process CPU over the batch stays near zero (everyone is sleeping);
+   the old fixed-cadence relax/sleep loop burned most of a core per
+   idle worker, i.e. ~(jobs-1) * wall of CPU. Sys.time is ISO C
+   clock(): processor time across every domain of the process, exactly
+   the number busy-waiting inflates. The run also re-checks the
+   determinism contract the backoff must not disturb: the merged
+   output equals the jobs=1 run of the same batch. *)
+type idle_row = {
+  ip_jobs : int;
+  ip_wall_s : float;
+  ip_cpu_s : float;
+  ip_cpu_per_idle : float;  (** cpu / ((jobs-1) * wall): 0 = all asleep, 1 = busy-wait *)
+}
+
+let run_idle_probe () =
+  let jobs = 4 in
+  let batch pool =
+    Dds_engine.Pool.map pool ~key:string_of_int
+      ~f:(fun x ->
+        if x = 0 then Unix.sleepf 0.05;
+        x * x)
+      (List.init 8 Fun.id)
+  in
+  let reference = Dds_engine.Pool.with_pool ~jobs:1 batch in
+  Dds_engine.Pool.with_pool ~jobs (fun pool ->
+      let c0 = Sys.time () in
+      let t0 = Unix.gettimeofday () in
+      let out = batch pool in
+      let wall = Unix.gettimeofday () -. t0 in
+      let cpu = Sys.time () -. c0 in
+      if out <> reference then failwith "pool idle probe: output differs from jobs=1";
+      let per_idle = if wall > 0.0 then cpu /. (float_of_int (jobs - 1) *. wall) else 0.0 in
+      Format.printf "@.#### Pool idle probe (1 straggler, %d workers) ####@.@." jobs;
+      Format.printf "  wall %.3fs, process cpu %.3fs (%.2f of the %d idle workers' budget)@."
+        wall cpu per_idle (jobs - 1);
+      (* Generous bound: busy-waiting scores ~1.0 here, the backoff
+         well under 0.1 — flag anything past half a burned core per
+         idle worker without being brittle on loaded CI runners. *)
+      if per_idle > 0.5 then
+        failwith
+          (Printf.sprintf
+             "pool idle probe: %.2f of idle-worker CPU burned (backoff regression?)" per_idle);
+      { ip_jobs = jobs; ip_wall_s = wall; ip_cpu_s = cpu; ip_cpu_per_idle = per_idle })
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel benchmarks *)
 
 module Sim_time = Dds_sim.Time
@@ -515,6 +565,33 @@ let bench_pool_profiled =
   Test.make ~name:"profile: 100-job batch, recorder on"
     (Staged.stage (pool_batch ~profiled:true))
 
+(* Latency attribution: rebuild the happens-before DAG and attribute
+   every op of a 200-tick monitored-scale ES trace. The trace is built
+   once outside the staged closure, so the row prices analysis alone —
+   the cost `dds explain` / `--attribution` adds on top of a run. *)
+let causal_events =
+  lazy
+    (let cfg =
+       {
+         (Deployment.default_config ~seed:1 ~n:10 ~delay:(Delay.synchronous ~delta:3)
+            ~churn_rate:0.01)
+         with
+         Deployment.events_enabled = true;
+       }
+     in
+     let d = Es_d.create cfg (Es_register.default_params ~n:10) in
+     Es_d.start_churn d ~until:(Sim_time.of_int 200);
+     Es_gen.run d
+       { (Generator.default ~until:(Sim_time.of_int 200)) with Generator.read_rate = 0.3 };
+     Es_d.run_until d (Sim_time.of_int 250);
+     Event.events (Es_d.events d))
+
+let bench_causal_analyze =
+  Test.make ~name:"causal: attribute 200-tick es trace"
+    (Staged.stage
+       (let evs = Lazy.force causal_events in
+        fun () -> ignore (Dds_causal.Causal.analyze ~bound:30 evs)))
+
 (* One Test.make per experiment table, at reduced scale, so the cost of
    regenerating each table is itself tracked over time. *)
 let bench_e1 =
@@ -586,6 +663,7 @@ let benchmark () =
         bench_probe_off;
         bench_pool_plain;
         bench_pool_profiled;
+        bench_causal_analyze;
         bench_e1;
         bench_e2;
         bench_e4;
@@ -639,7 +717,7 @@ let bench_estimates results =
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let write_results_json ~tables ~scaling ~profile_rows ~checker ~estimates =
+let write_results_json ~tables ~scaling ~profile_rows ~checker ~idle ~estimates =
   let module J = Dds_sim.Json in
   let json =
     J.Obj
@@ -697,6 +775,17 @@ let write_results_json ~tables ~scaling ~profile_rows ~checker ~estimates =
                      ("minor_words_per_schedule", J.Float r.ck_minor_per_sched);
                    ])
                checker) );
+        ( "pool_idle",
+          match idle with
+          | None -> J.Null
+          | Some r ->
+            J.Obj
+              [
+                ("jobs", J.Int r.ip_jobs);
+                ("wall_s", J.Float r.ip_wall_s);
+                ("cpu_s", J.Float r.ip_cpu_s);
+                ("cpu_per_idle_worker", J.Float r.ip_cpu_per_idle);
+              ] );
         ("tables", J.List (List.map Report.to_json tables));
       ]
   in
@@ -803,6 +892,7 @@ let () =
     else ([], [], [])
   in
   let checker = if not bench_only then run_checker_rows () else [] in
+  let idle = Some (run_idle_probe ()) in
   let estimates =
     if not tables_only then begin
       let results = benchmark () in
@@ -815,7 +905,7 @@ let () =
      BENCH_results.json` (the committed file this run overwrites) must
      compare against the old numbers, not the ones just written. *)
   let baseline_contents = Option.map (fun path -> (path, read_baseline path)) baseline in
-  write_results_json ~tables ~scaling ~profile_rows ~checker ~estimates;
+  write_results_json ~tables ~scaling ~profile_rows ~checker ~idle ~estimates;
   let ok =
     match baseline_contents with
     | None -> true

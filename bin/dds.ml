@@ -6,6 +6,10 @@
      scenario  replay one of the paper's constructed executions
      sweep     regenerate one experiment table (E4..E12)
      inspect   summarize a JSONL trace produced by run --trace-out
+     explain   causal critical-path analysis of a JSONL trace: per-op
+               latency attribution (compute/transit/quorum/timer/retry),
+               straggler naming, k*delta bound violations with path
+               witnesses
      audit     replay a JSONL trace through the assumption/safety
                monitors and the regularity checker
      hunt      randomized nemesis search for counterexamples, with
@@ -28,6 +32,7 @@ open Dds_core
 open Dds_workload
 open Dds_fault
 open Cmdliner
+module Causal = Dds_causal.Causal
 
 let time = Time.of_int
 
@@ -102,6 +107,7 @@ type common = {
   liveness_k : int;  (** liveness deadline = k * delta ticks *)
   nemesis : Nemesis.plan option;  (** fault schedule to arm before running *)
   jobs : int;  (** engine workers for sweep/hunt; 0 = auto *)
+  minor_heap_words : int;  (** minor heap per engine domain; 0 = runtime default *)
   eprofile : bool;  (** profile the engine; summary to stderr *)
   profile_out : string option;  (** Chrome trace + summary JSON (implies eprofile) *)
 }
@@ -424,6 +430,17 @@ let jobs_t =
            the output is byte-identical for any N. 0 (the default) uses the machine's \
            recommended domain count; 1 runs inline.")
 
+let minor_heap_t =
+  Arg.(
+    value & opt int 0
+    & info [ "minor-heap-words" ] ~docv:"WORDS"
+        ~doc:
+          "Minor-heap size (in words) applied via $(b,Gc.set) inside every engine domain \
+           — OCaml 5 GC parameters are domain-local, so this is the only way to tune the \
+           spawned workers. Sizing the nursery moves when collections happen, never what \
+           jobs compute: output stays byte-identical. 0 (the default) leaves the runtime \
+           default in place. The active value is recorded in the $(b,--profile) summary.")
+
 let eprofile_t =
   Arg.(
     value & flag
@@ -448,18 +465,18 @@ let profile_out_t =
 let common_t =
   let make seed n delta churn policy horizon read_rate write_every gst wild trace
       dump_history trace_out trace_format metrics_out monitor dot_out churn_window
-      liveness_k nemesis jobs eprofile profile_out =
+      liveness_k nemesis jobs minor_heap_words eprofile profile_out =
     {
       seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
       dump_history; trace_out; trace_format; metrics_out; monitor; dot_out; churn_window;
-      liveness_k; nemesis; jobs; eprofile; profile_out;
+      liveness_k; nemesis; jobs; minor_heap_words; eprofile; profile_out;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
     $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
     $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
-    $ liveness_k_t $ nemesis_t $ jobs_t $ eprofile_t $ profile_out_t)
+    $ liveness_k_t $ nemesis_t $ jobs_t $ minor_heap_t $ eprofile_t $ profile_out_t)
 
 (* One converter for every subcommand that takes a protocol: parses
    against the registry, so an unknown name is rejected at the CLI
@@ -649,14 +666,16 @@ let scenario_cmd =
 (* One engine pool per sweep/hunt/check invocation. The summary (and
    the optional metrics dump notice) goes to stderr: stdout must stay
    byte-identical across worker counts, and CI diffs it. *)
-let with_engine' ?(profile = false) ?profile_out ~jobs ~metrics_out f =
+let with_engine' ?(profile = false) ?profile_out ?(minor_heap_words = 0) ~jobs ~metrics_out f =
   let jobs = if jobs <= 0 then Dds_engine.Pool.default_jobs () else jobs in
   let recorder =
     if profile || profile_out <> None then
       Some (Dds_profile.Profile.create ~workers:jobs ())
     else None
   in
-  Dds_engine.Pool.with_pool ~jobs ?profile:recorder (fun pool ->
+  Dds_engine.Pool.with_pool ~jobs
+    ?minor_heap_words:(if minor_heap_words > 0 then Some minor_heap_words else None)
+    ?profile:recorder (fun pool ->
       let r = f pool in
       let stats = Dds_engine.Pool.stats pool in
       let cells = List.fold_left (fun a s -> a + s.Dds_engine.Pool.ws_jobs) 0 stats in
@@ -686,8 +705,82 @@ let with_engine' ?(profile = false) ?profile_out ~jobs ~metrics_out f =
       r)
 
 let with_engine c f =
-  with_engine' ~profile:c.eprofile ?profile_out:c.profile_out ~jobs:c.jobs
-    ~metrics_out:c.metrics_out f
+  with_engine' ~profile:c.eprofile ?profile_out:c.profile_out
+    ~minor_heap_words:c.minor_heap_words ~jobs:c.jobs ~metrics_out:c.metrics_out f
+
+(* ------------------------------------------------------------------ *)
+(* Latency attribution (lib/causal), shared by explain / sweep
+   --attribution / inspect / audit. *)
+
+(* The aggregate table: one p50 and one p99 row per op kind, a column
+   per attributed phase. Per-op phase values sum exactly to that op's
+   latency; percentiles are taken per column, so the rows here need
+   not (p50s of parts don't sum to the p50 of the whole). *)
+let attribution_table title (r : Causal.report) =
+  let rows =
+    List.concat_map
+      (fun (og : Causal.op_agg) ->
+        let row pct lat sel =
+          [ Event.op_kind_to_string og.Causal.og_op; Report.cell_int og.Causal.og_count; pct ]
+          @ List.map (fun (p : Causal.phase_agg) -> Report.cell_int (sel p)) og.Causal.og_phases
+          @ [ Report.cell_int lat ]
+        in
+        [
+          row "p50" og.Causal.og_lat_p50 (fun p -> p.Causal.pa_p50);
+          row "p99" og.Causal.og_lat_p99 (fun p -> p.Causal.pa_p99);
+        ])
+      r.Causal.r_aggregate
+  in
+  Report.make ~title
+    ~headers:
+      ([ "op"; "n"; "pct" ]
+      @ List.map Causal.seg_kind_to_string Causal.all_seg_kinds
+      @ [ "latency" ])
+    rows
+
+(* One representative monitored-config run of a protocol with the sink
+   enabled, analyzed in-process — what `dds sweep --attribution`
+   appends per registered protocol. Sequential and pool-free, so the
+   extra output is byte-identical at any --jobs. *)
+let attribution_report (p : Protocol.t) c =
+  let drive (type q) (module D : Deployment.S with type Protocol.params = q) (params : q) =
+    let d = D.create { (build_config c) with Deployment.events_enabled = true } params in
+    let module G = Generator.Make (D) in
+    D.start_churn d ~until:(time c.horizon);
+    G.run d
+      {
+        Generator.read_rate = c.read_rate;
+        write_every = c.write_every;
+        start = time 1;
+        until = time c.horizon;
+      };
+    D.run_until d (time (c.horizon + (20 * c.delta) + (4 * c.wild)));
+    Causal.analyze ~bound:(c.liveness_k * c.delta) (Event.events (D.events d))
+  in
+  let module R = (val p.Protocol.runner : Protocol.RUNNER) in
+  match R.params { Protocol.n = c.n; delta = c.delta; quorum = None } with
+  | Error e -> Error e
+  | Ok params -> Ok (drive (module R.D) params)
+
+let print_attribution c =
+  List.iter
+    (fun (p : Protocol.t) ->
+      match attribution_report p c with
+      | Error e -> Format.printf "attribution: %s skipped (%s)@." p.Protocol.name e
+      | Ok r ->
+        Report.print
+          (attribution_table
+             (Printf.sprintf "latency attribution — %s (n=%d delta=%d c=%g seed=%d, ticks)"
+                p.Protocol.name c.n c.delta c.churn c.seed)
+             r);
+        (match r.Causal.r_over_bound with
+        | [] -> ()
+        | over ->
+          Format.printf "  %d op(s) over the %d-tick bound: %s@." (List.length over)
+            (c.liveness_k * c.delta)
+            (String.concat ", "
+               (List.map (fun (a : Causal.attribution) -> string_of_int a.Causal.a_span) over))))
+    Protocol.all
 
 (* The sweep registry: every experiment table `dds sweep` can
    regenerate, with the one-line description `dds list` prints. The
@@ -726,7 +819,7 @@ let sweep_aliases =
     ("e24", "nemesis");
   ]
 
-let run_sweep name c =
+let run_sweep_tables name c =
   let name =
     match List.assoc_opt (String.lowercase_ascii name) sweep_aliases with
     | Some canonical -> canonical
@@ -853,6 +946,13 @@ let run_sweep name c =
       ( true,
         Printf.sprintf "unknown sweep %S (%s)" other
           (String.concat "|" (List.map fst sweeps)) )
+
+let run_sweep name attribution c =
+  match run_sweep_tables name c with
+  | `Ok () when attribution ->
+    print_attribution c;
+    `Ok ()
+  | r -> r
 
 (* inspect *)
 
@@ -1121,6 +1221,15 @@ let run_inspect path =
         | _ -> ())
       evs;
     Format.printf "churn      : %d joins, %d leaves@." !joins !leaves;
+    (* Slowest ops with causes — the causal analyzer's gating chains.
+       (A chrome round-trip has no Send/Deliver record, so there the
+       paths degrade to local waiting; `dds explain` on the JSONL
+       original gives the full decomposition.) *)
+    let slow = Causal.slowest (Causal.analyze evs) 3 in
+    if slow <> [] then begin
+      Format.printf "@.slowest ops with causes:@.";
+      List.iter (fun a -> Format.printf "%a" Causal.pp_attribution a) slow
+    end;
     if orphans <> [] then
       Format.printf "orphans    : %d span(s) still open at end of trace: %s@."
         (List.length orphans)
@@ -1138,6 +1247,144 @@ let inspect_cmd =
   in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(ret (const run_inspect $ file_t))
 
+(* explain *)
+
+(* Causal critical-path analysis of an exported JSONL trace: where did
+   each operation's latency go? Needs the Send/Deliver record (chrome
+   exports drop it), so this consumes JSONL only — leniently, like
+   inspect/audit, because a killed run leaves a partial last line. *)
+let run_explain path op_span top delta bound_k json_out chrome_out =
+  match read_file path with
+  | exception Sys_error e -> `Error (false, e)
+  | text -> (
+    match Export.events_of_jsonl_lenient text with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+    | Ok (evs, warnings) ->
+      List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+      let bound = bound_k * delta in
+      let r = Causal.analyze ~bound evs in
+      (match json_out with
+      | Some out ->
+        write_file out (Json.to_string (Causal.report_to_json r) ^ "\n");
+        Format.printf "attribution report written to %s@." out
+      | None -> ());
+      (match chrome_out with
+      | Some out ->
+        write_file out (Json.to_string (Causal.chrome_of_report r) ^ "\n");
+        Format.printf "path lanes written to %s@." out
+      | None -> ());
+      (match op_span with
+      | Some span -> (
+        match Causal.find_op r span with
+        | Some a ->
+          Format.printf "%a" Causal.pp_attribution a;
+          `Ok ()
+        | None ->
+          `Error
+            ( false,
+              Printf.sprintf "span %d not among the %d completed op(s) in %s" span
+                (List.length r.Causal.r_ops) path ))
+      | None ->
+        Format.printf "%s: %d events, %d attributed op(s), bound k*delta = %d*%d = %d@." path
+          r.Causal.r_events (List.length r.Causal.r_ops) bound_k delta bound;
+        if r.Causal.r_ops = [] then begin
+          Format.printf "no completed operation spans — nothing to attribute@.";
+          `Ok ()
+        end
+        else begin
+          Report.print (attribution_table "latency attribution (ticks)" r);
+          let slow = Causal.slowest r top in
+          Format.printf "@.slowest %d op(s) with causes:@." (List.length slow);
+          List.iter (fun a -> Format.printf "%a" Causal.pp_attribution a) slow;
+          (match r.Causal.r_over_bound with
+          | [] -> Format.printf "@.bound      : every op within %d ticks@." bound
+          | over ->
+            Format.printf "@.bound      : %d op(s) over %d ticks: %s@." (List.length over)
+              bound
+              (String.concat ", "
+                 (List.map
+                    (fun (a : Causal.attribution) ->
+                      Printf.sprintf "#%d (%d)" a.Causal.a_span a.Causal.a_latency)
+                    over));
+            (* Each violation's critical path is its machine-checkable
+               witness; print the ones the slowest-K section above
+               didn't already show. *)
+            List.iter
+              (fun (a : Causal.attribution) ->
+                if
+                  not
+                    (List.exists
+                       (fun (s : Causal.attribution) -> s.Causal.a_span = a.Causal.a_span)
+                       slow)
+                then Format.printf "%a" Causal.pp_attribution a)
+              over);
+          if r.Causal.r_orphans <> [] then
+            Format.printf "orphans    : %d span(s) never completed: %s@."
+              (List.length r.Causal.r_orphans)
+              (String.concat ", " (List.map string_of_int r.Causal.r_orphans));
+          `Ok ()
+        end))
+
+let explain_cmd =
+  let doc =
+    "Causal critical-path analysis of a JSONL trace from $(b,dds run --trace-out): \
+     reconstructs the happens-before DAG from the Lamport-stamped Send/Deliver record, \
+     walks each operation's gating chain from $(b,Op_start) to $(b,Op_end), and \
+     decomposes its latency into compute / transit / quorum / timer / retry phases that \
+     sum exactly to the span latency — naming the quorum straggler and flagging ops over \
+     the k*delta bound with their path as witness."
+  in
+  let file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSONL trace file.")
+  in
+  let op_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "op" ] ~docv:"SPAN" ~doc:"Explain just this operation span id.")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"How many slowest ops to render with full paths.")
+  in
+  let delta_t =
+    Arg.(
+      value & opt int 3
+      & info [ "delta" ] ~docv:"TICKS"
+          ~doc:"The run's message-delay bound (must match to make the k*delta bound right).")
+  in
+  let bound_k_t =
+    Arg.(
+      value & opt int 10
+      & info [ "bound-k" ] ~docv:"K"
+          ~doc:"Flag ops slower than K*delta ticks (same default as the liveness monitor).")
+  in
+  let json_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the attribution report as JSON (per-op phases + paths + stragglers, \
+             aggregate percentiles, bound violations).")
+  in
+  let chrome_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-op critical-path lanes as Chrome trace_event JSON (one lane per \
+             op, one slice per path segment; loadable in chrome://tracing / Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      ret
+        (const run_explain $ file_t $ op_t $ top_t $ delta_t $ bound_k_t $ json_out_t
+       $ chrome_out_t))
+
 (* audit *)
 
 (* Replays an exported JSONL trace through the streaming monitors and
@@ -1153,7 +1400,18 @@ let run_audit path (proto : Protocol.t) initial c =
     | Ok (evs, warnings) ->
       List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
       let cfg = monitor_config_for proto c in
-      let violations = Dds_monitor.Monitor.run cfg evs in
+      (* Run the monitors by hand (rather than Monitor.run) to keep
+         the instance: overdue_spans is the structural witness hook
+         the causal section below cross-references. *)
+      let m = Dds_monitor.Monitor.create cfg in
+      List.iter (fun st -> ignore (Dds_monitor.Monitor.feed m st)) evs;
+      let last_at =
+        List.fold_left
+          (fun acc ({ at; _ } : Event.stamped) -> Time.max acc at)
+          Time.zero evs
+      in
+      ignore (Dds_monitor.Monitor.finalize m ~at:last_at);
+      let violations = Dds_monitor.Monitor.violations m in
       Format.printf "%s: %d events audited (%s monitors, n=%d, delta=%d)@." path
         (List.length evs) proto.Protocol.name c.n c.delta;
       (match cfg.Dds_monitor.Monitor.churn_bound with
@@ -1180,6 +1438,23 @@ let run_audit path (proto : Protocol.t) initial c =
       List.iter
         (fun v -> Format.printf "  %a@." Regularity.pp_violation v)
         report.Regularity.violations;
+      (* Slowest ops with causes, plus a critical-path witness for
+         every span the liveness monitor flagged (when the span did
+         complete in-trace; one still open at the end has no path). *)
+      let causal = Causal.analyze ~bound:(c.liveness_k * c.delta) evs in
+      let slow = Causal.slowest causal 3 in
+      if slow <> [] then begin
+        Format.printf "slowest ops with causes:@.";
+        List.iter (fun a -> Format.printf "%a" Causal.pp_attribution a) slow
+      end;
+      List.iter
+        (fun span ->
+          match Causal.find_op causal span with
+          | Some a ->
+            Format.printf "liveness witness (span %d):@.%a" span Causal.pp_attribution a
+          | None ->
+            Format.printf "liveness witness (span %d): op still open at end of trace@." span)
+        (Dds_monitor.Monitor.overdue_spans m);
       (match c.dot_out with
       | Some out ->
         write_file out (Export.dot_of_events evs);
@@ -1354,10 +1629,23 @@ let sweep_term ~forced_profile =
             ^ String.concat ", " (List.map fst sweeps)
             ^ " — or an experiment alias e4..e24 (see $(b,dds list))."))
   in
+  let attribution_t =
+    Arg.(
+      value & flag
+      & info [ "attribution" ]
+          ~doc:
+            "After the sweep table, print a per-protocol latency-attribution table: one \
+             representative monitored-config run per registered protocol is analyzed by \
+             the causal critical-path analyzer ($(b,dds explain)) and its latency \
+             decomposed into compute/transit/quorum/timer/retry phase columns (p50/p99 \
+             per op kind), with ops over the k*delta bound listed. The extra run is \
+             sequential, so output stays byte-identical at any $(b,--jobs).")
+  in
   Term.(
     ret
-      (const (fun name c -> run_sweep name (force_profile ~forced_profile c))
-      $ name_t $ common_t))
+      (const (fun name attribution c ->
+           run_sweep name attribution (force_profile ~forced_profile c))
+      $ name_t $ attribution_t $ common_t))
 
 let hunt_cmd =
   let doc =
@@ -1592,6 +1880,7 @@ let main_cmd =
       scenario_cmd;
       sweep_cmd;
       inspect_cmd;
+      explain_cmd;
       audit_cmd;
       hunt_cmd;
       check_cmd;

@@ -1,0 +1,658 @@
+open Dds_sim
+
+type seg_kind = Compute | Transit | Quorum | Timer | Retry
+
+let seg_kind_to_string = function
+  | Compute -> "compute"
+  | Transit -> "transit"
+  | Quorum -> "quorum"
+  | Timer -> "timer"
+  | Retry -> "retry"
+
+let all_seg_kinds = [ Compute; Transit; Quorum; Timer; Retry ]
+
+type segment = {
+  g_kind : seg_kind;
+  g_from : Time.t;
+  g_to : Time.t;
+  g_node : int;
+  g_src : int;
+  g_msg : string;
+}
+
+let seg_dur g = Time.diff g.g_to g.g_from
+
+type straggler = {
+  st_node : int;
+  st_msg : string;
+  st_have : int;
+  st_need : int;
+  st_wait : int;
+  st_at : Time.t;
+}
+
+type attribution = {
+  a_span : int;
+  a_node : int;
+  a_op : Event.op_kind;
+  a_outcome : Event.outcome;
+  a_started : Time.t;
+  a_ended : Time.t;
+  a_latency : int;
+  a_compute : int;
+  a_transit : int;
+  a_quorum : int;
+  a_timer : int;
+  a_retry : int;
+  a_hops : int;
+  a_segments : segment list;
+  a_straggler : straggler option;
+}
+
+let phase_total a = function
+  | Compute -> a.a_compute
+  | Transit -> a.a_transit
+  | Quorum -> a.a_quorum
+  | Timer -> a.a_timer
+  | Retry -> a.a_retry
+
+type phase_agg = { pa_kind : seg_kind; pa_p50 : int; pa_p99 : int; pa_max : int }
+
+type op_agg = {
+  og_op : Event.op_kind;
+  og_count : int;
+  og_lat_p50 : int;
+  og_lat_p99 : int;
+  og_lat_max : int;
+  og_phases : phase_agg list;
+}
+
+type report = {
+  r_ops : attribution list;
+  r_aggregate : op_agg list;
+  r_bound : int option;
+  r_over_bound : attribution list;
+  r_orphans : int list;
+  r_events : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before DAG *)
+
+(* Which process an event "belongs to" for process-order chaining.
+   [-1] means no process chain (global marks). *)
+let proc_of (ev : Event.t) =
+  match ev with
+  | Node_join { node } | Node_leave { node } | Node_crash { node } -> node
+  | Send { src; _ } -> src
+  | Deliver { dst; _ } -> dst
+  | Drop { dst; _ } -> dst
+  | Op_start { node; _ } | Op_phase { node; _ } | Op_end { node; _ }
+  | Quorum_progress { node; _ } ->
+    node
+  | Fault_injected { src; _ } -> src
+  | Gst_reached | Violation _ -> -1
+
+type dag = {
+  evs : Event.stamped array;
+  prev : int array;  (* same-process predecessor index, -1 at chain heads *)
+  send_of : int array;  (* for a Deliver, its Send's index; -1 otherwise *)
+}
+
+let build evs =
+  let arr = Array.of_list evs in
+  let n = Array.length arr in
+  let prev = Array.make n (-1) in
+  let send_of = Array.make n (-1) in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* (src, lamport) identifies a transmission: per-process send stamps
+     strictly increase, and a Deliver echoes its Send's stamp in
+     [sent]. Duplicated deliveries (the nemesis dup fault) both map to
+     the one Send, which is the correct causal edge for each copy. *)
+  let sends : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  for i = 0 to n - 1 do
+    let ev = arr.(i).Event.ev in
+    let p = proc_of ev in
+    if p >= 0 then begin
+      (match Hashtbl.find_opt last p with Some j -> prev.(i) <- j | None -> ());
+      Hashtbl.replace last p i
+    end;
+    match ev with
+    | Event.Send { src; lamport; _ } -> Hashtbl.replace sends (src, lamport) i
+    | Event.Deliver { src; sent; _ } -> (
+      match Hashtbl.find_opt sends (src, sent) with
+      | Some j -> send_of.(i) <- j
+      | None -> ())
+    | _ -> ()
+  done;
+  { evs = arr; prev; send_of }
+
+(* The gating chain from Op_start to Op_end. Forward pass: mark
+   everything causally reachable from Op_start inside the index range
+   (both edge kinds point forward in emission order, so one scan
+   suffices). Backward pass: from Op_end, prefer the message edge at a
+   Deliver — arrival is what released the handler — falling back to
+   the process edge, which is necessarily reachable whenever the
+   message edge is not (reachability had to come from somewhere).
+   Indices strictly decrease, so the walk terminates at Op_start. *)
+let critical_path dag ~start_idx ~end_idx =
+  let base = start_idx in
+  let m = end_idx - start_idx + 1 in
+  let reach = Array.make m false in
+  reach.(0) <- true;
+  for i = start_idx + 1 to end_idx do
+    let via_proc =
+      let p = dag.prev.(i) in
+      p >= base && reach.(p - base)
+    in
+    let via_msg =
+      let s = dag.send_of.(i) in
+      s >= base && s < i && reach.(s - base)
+    in
+    reach.(i - base) <- via_proc || via_msg
+  done;
+  if not reach.(end_idx - base) then None
+  else begin
+    let rec walk i acc =
+      if i = start_idx then i :: acc
+      else begin
+        let s = dag.send_of.(i) in
+        if s >= base && s < i && reach.(s - base) then walk s (i :: acc)
+        else walk dag.prev.(i) (i :: acc)
+      end
+    in
+    Some (walk end_idx [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Segments *)
+
+let coalesce segs =
+  List.fold_left
+    (fun acc g ->
+      match acc with
+      | h :: t when h.g_kind = g.g_kind && h.g_kind <> Transit && h.g_node = g.g_node ->
+        { h with g_to = g.g_to } :: t
+      | _ -> g :: acc)
+    [] segs
+  |> List.rev
+
+let raw_segments dag path =
+  let seg_of a b =
+    let ta = dag.evs.(a).Event.at and eb = dag.evs.(b) in
+    let tb = eb.Event.at in
+    if dag.send_of.(b) = a then begin
+      match eb.Event.ev with
+      | Event.Deliver { src; dst; kind; _ } ->
+        { g_kind = Transit; g_from = ta; g_to = tb; g_node = dst; g_src = src; g_msg = kind }
+      | _ -> assert false
+    end
+    else begin
+      let node = proc_of eb.Event.ev in
+      let k = if Time.diff tb ta = 0 then Compute else Timer in
+      { g_kind = k; g_from = ta; g_to = tb; g_node = node; g_src = -1; g_msg = "" }
+    end
+  in
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (seg_of a b :: acc) rest
+    | _ -> List.rev acc
+  in
+  coalesce (go [] path)
+
+(* Relabelling windows split segments at their bounds, so the
+   partition stays exact: sub-segment durations still telescope to
+   the span latency. Half-open [lo, hi) intervals throughout — the
+   quorum wait "first ack at t1 to k-th at tk" weighs tk - t1. *)
+let relabel segs ~qwins ~rwins =
+  if qwins = [] && rwins = [] then segs
+  else begin
+    let bounds =
+      List.concat_map (fun (a, b) -> [ a; b ]) (qwins @ rwins)
+      |> List.sort_uniq Int.compare
+    in
+    let inside t (a, b) = t >= a && t < b in
+    let label_for t base =
+      if List.exists (inside t) rwins then Retry
+      else if List.exists (inside t) qwins then Quorum
+      else base
+    in
+    List.concat_map
+      (fun g ->
+        let a = Time.to_int g.g_from and b = Time.to_int g.g_to in
+        if b <= a then [ g ]
+        else begin
+          let cuts = List.filter (fun x -> x > a && x < b) bounds in
+          let rec pieces = function
+            | x :: (y :: _ as rest) ->
+              {
+                g with
+                g_kind = label_for x g.g_kind;
+                g_from = Time.of_int x;
+                g_to = Time.of_int y;
+              }
+              :: pieces rest
+            | _ -> []
+          in
+          pieces ((a :: cuts) @ [ b ])
+        end)
+      segs
+    |> coalesce
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-span bookkeeping *)
+
+type span_ix = {
+  sx_start : int;
+  mutable sx_quorum : int list;  (* indices, reversed *)
+  mutable sx_phases : (string * int) list;  (* (name, tick), reversed *)
+}
+
+(* Quorum collection rounds: a [have] that fails to increase starts a
+   fresh round (protocols reset their counts between collect phases).
+   Each round that reaches [need] yields a relabel window from the
+   round's first progress mark to the completing one, plus a straggler
+   candidate naming the responder that completed it. *)
+let quorum_analysis dag ~node qidxs =
+  let info i =
+    match dag.evs.(i).Event.ev with
+    | Event.Quorum_progress { have; need; from; _ } -> (Time.to_int dag.evs.(i).Event.at, have, need, from, i)
+    | _ -> assert false
+  in
+  let completing_msg ~at ~from j =
+    (* The handler that emitted the completing Quorum_progress ran
+       synchronously under its Deliver at the same tick; scan back for
+       it to recover the wire kind. *)
+    if from < 0 then ""
+    else begin
+      let rec back i =
+        if i < 0 || Time.to_int dag.evs.(i).Event.at <> at then ""
+        else begin
+          match dag.evs.(i).Event.ev with
+          | Event.Deliver { src; dst; kind; _ } when src = from && dst = node -> kind
+          | _ -> back (i - 1)
+        end
+      in
+      back j
+    end
+  in
+  let rec rounds acc cur = function
+    | [] -> List.rev (match cur with [] -> acc | c -> List.rev c :: acc)
+    | i :: rest ->
+      let _, have, _, _, _ = info i in
+      (match cur with
+      | [] -> rounds acc [ i ] rest
+      | last :: _ ->
+        let _, prev_have, _, _, _ = info last in
+        if have > prev_have then rounds acc (i :: cur) rest
+        else rounds (List.rev cur :: acc) [ i ] rest)
+  in
+  let wins = ref [] and stragglers = ref [] in
+  List.iter
+    (fun round ->
+      match round with
+      | [] -> ()
+      | first :: _ ->
+        let t0, _, _, _, _ = info first in
+        let completed =
+          List.find_opt
+            (fun i ->
+              let _, have, need, _, _ = info i in
+              have >= need)
+            round
+        in
+        (match completed with
+        | None -> ()
+        | Some j ->
+          let t1, have, need, from, _ = info j in
+          if t1 > t0 then wins := (t0, t1) :: !wins;
+          if from >= 0 then
+            stragglers :=
+              {
+                st_node = from;
+                st_msg = completing_msg ~at:t1 ~from j;
+                st_have = have;
+                st_need = need;
+                st_wait = t1 - t0;
+                st_at = Time.of_int t1;
+              }
+              :: !stragglers))
+    (rounds [] [] qidxs);
+  (List.rev !wins, List.rev !stragglers)
+
+(* Retry windows: the same Op_phase name marked more than once means
+   the protocol restarted that stage (e.g. a sync join re-broadcasting
+   its inquiry after an empty round); the stretch from the first mark
+   to the last is churn-induced re-work. *)
+let retry_windows phases =
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (name, t) ->
+      match Hashtbl.find_opt tbl name with
+      | None ->
+        Hashtbl.add tbl name (t, t);
+        order := name :: !order
+      | Some (first, _) -> Hashtbl.replace tbl name (first, t))
+    phases;
+  List.rev !order
+  |> List.filter_map (fun name ->
+         match Hashtbl.find_opt tbl name with
+         | Some (first, last) when last > first -> Some (first, last)
+         | _ -> None)
+
+let totals segs =
+  List.fold_left
+    (fun (c, x, q, t, r) g ->
+      let d = seg_dur g in
+      match g.g_kind with
+      | Compute -> (c + d, x, q, t, r)
+      | Transit -> (c, x + d, q, t, r)
+      | Quorum -> (c, x, q + d, t, r)
+      | Timer -> (c, x, q, t + d, r)
+      | Retry -> (c, x, q, t, r + d))
+    (0, 0, 0, 0, 0) segs
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let analyze ?bound evs =
+  let dag = build evs in
+  let n = Array.length dag.evs in
+  let open_tbl : (int, span_ix) Hashtbl.t = Hashtbl.create 64 in
+  let done_rev = ref [] in
+  for i = 0 to n - 1 do
+    match dag.evs.(i).Event.ev with
+    | Event.Op_start { span; _ } ->
+      Hashtbl.replace open_tbl span { sx_start = i; sx_quorum = []; sx_phases = [] }
+    | Event.Op_phase { span; phase; _ } -> (
+      match Hashtbl.find_opt open_tbl span with
+      | Some sx -> sx.sx_phases <- (phase, Time.to_int dag.evs.(i).Event.at) :: sx.sx_phases
+      | None -> ())
+    | Event.Quorum_progress { span; _ } -> (
+      match Hashtbl.find_opt open_tbl span with
+      | Some sx -> sx.sx_quorum <- i :: sx.sx_quorum
+      | None -> ())
+    | Event.Op_end { span; node; op; outcome; _ } -> (
+      match Hashtbl.find_opt open_tbl span with
+      | None -> ()
+      | Some sx -> (
+        Hashtbl.remove open_tbl span;
+        match critical_path dag ~start_idx:sx.sx_start ~end_idx:i with
+        | None -> ()
+        | Some path ->
+          let started = dag.evs.(sx.sx_start).Event.at in
+          let ended = dag.evs.(i).Event.at in
+          let qwins, stragglers = quorum_analysis dag ~node (List.rev sx.sx_quorum) in
+          let rwins = retry_windows (List.rev sx.sx_phases) in
+          let raw = raw_segments dag path in
+          let hops = List.length (List.filter (fun g -> g.g_kind = Transit) raw) in
+          let segs = relabel raw ~qwins ~rwins in
+          let compute, transit, quorum, timer, retry = totals segs in
+          let straggler =
+            List.fold_left
+              (fun best st ->
+                match best with
+                | Some b when b.st_wait >= st.st_wait -> best
+                | _ -> Some st)
+              None stragglers
+          in
+          done_rev :=
+            {
+              a_span = span;
+              a_node = node;
+              a_op = op;
+              a_outcome = outcome;
+              a_started = started;
+              a_ended = ended;
+              a_latency = Time.diff ended started;
+              a_compute = compute;
+              a_transit = transit;
+              a_quorum = quorum;
+              a_timer = timer;
+              a_retry = retry;
+              a_hops = hops;
+              a_segments = segs;
+              a_straggler = straggler;
+            }
+            :: !done_rev))
+    | _ -> ()
+  done;
+  let ops =
+    List.rev !done_rev
+    |> List.stable_sort (fun a b -> Time.compare a.a_started b.a_started)
+  in
+  let orphans =
+    Hashtbl.fold (fun span _ acc -> span :: acc) open_tbl [] |> List.sort Int.compare
+  in
+  (* Aggregate: nearest-rank percentiles per op kind and phase. *)
+  let pct sorted q =
+    let m = Array.length sorted in
+    if m = 0 then 0
+    else sorted.(Stdlib.max 0 (int_of_float (Float.ceil (q *. float_of_int m)) - 1))
+  in
+  let agg_for op =
+    let sel = List.filter (fun a -> a.a_op = op) ops in
+    match sel with
+    | [] -> None
+    | _ ->
+      let sorted f = List.map f sel |> List.sort Int.compare |> Array.of_list in
+      let lats = sorted (fun a -> a.a_latency) in
+      Some
+        {
+          og_op = op;
+          og_count = List.length sel;
+          og_lat_p50 = pct lats 0.50;
+          og_lat_p99 = pct lats 0.99;
+          og_lat_max = lats.(Array.length lats - 1);
+          og_phases =
+            List.map
+              (fun k ->
+                let vs = sorted (fun a -> phase_total a k) in
+                {
+                  pa_kind = k;
+                  pa_p50 = pct vs 0.50;
+                  pa_p99 = pct vs 0.99;
+                  pa_max = vs.(Array.length vs - 1);
+                })
+              all_seg_kinds;
+        }
+  in
+  let aggregate = List.filter_map agg_for [ Event.Join; Event.Read; Event.Write ] in
+  let over_bound =
+    match bound with
+    | None -> []
+    | Some b ->
+      List.filter (fun a -> a.a_latency > b) ops
+      |> List.stable_sort (fun a b ->
+             match Int.compare b.a_latency a.a_latency with
+             | 0 -> Time.compare a.a_started b.a_started
+             | c -> c)
+  in
+  { r_ops = ops; r_aggregate = aggregate; r_bound = bound; r_over_bound = over_bound;
+    r_orphans = orphans; r_events = n }
+
+let slowest r k =
+  List.stable_sort
+    (fun a b ->
+      match Int.compare b.a_latency a.a_latency with
+      | 0 -> Time.compare a.a_started b.a_started
+      | c -> c)
+    r.r_ops
+  |> List.filteri (fun i _ -> i < k)
+
+let find_op r span = List.find_opt (fun a -> a.a_span = span) r.r_ops
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_attribution ppf a =
+  let parts =
+    List.filter_map
+      (fun k ->
+        let v = phase_total a k in
+        if v > 0 then Some (Printf.sprintf "%s %d" (seg_kind_to_string k) v) else None)
+      all_seg_kinds
+  in
+  let breakdown = match parts with [] -> "all instantaneous" | _ -> String.concat " + " parts in
+  Format.fprintf ppf "#%d %s p%d [t=%d -> t=%d] latency %d = %s (%d hop%s%s)@."
+    a.a_span
+    (Event.op_kind_to_string a.a_op)
+    a.a_node
+    (Time.to_int a.a_started) (Time.to_int a.a_ended) a.a_latency breakdown a.a_hops
+    (if a.a_hops = 1 then "" else "s")
+    (match a.a_outcome with Event.Completed -> "" | Event.Aborted -> ", aborted");
+  (match a.a_straggler with
+  | Some st ->
+    Format.fprintf ppf "    straggler: p%d%s completed %d/%d at t=%d after a %d-tick wait@."
+      st.st_node
+      (if st.st_msg = "" then "" else Printf.sprintf " (%s)" st.st_msg)
+      st.st_have st.st_need (Time.to_int st.st_at) st.st_wait
+  | None -> ());
+  List.iter
+    (fun g ->
+      let where =
+        match g.g_kind with
+        | Transit -> Printf.sprintf "p%d -> p%d %s" g.g_src g.g_node g.g_msg
+        | _ when g.g_src >= 0 && g.g_msg <> "" ->
+          Printf.sprintf "at p%d (riding p%d -> p%d %s)" g.g_node g.g_src g.g_node g.g_msg
+        | _ -> Printf.sprintf "at p%d" g.g_node
+      in
+      Format.fprintf ppf "    t=%-5d +%-4d %-7s %s@." (Time.to_int g.g_from) (seg_dur g)
+        (seg_kind_to_string g.g_kind) where)
+    a.a_segments
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let phases_json a =
+  Json.Obj (List.map (fun k -> (seg_kind_to_string k, Json.Int (phase_total a k))) all_seg_kinds)
+
+let segment_json g =
+  Json.Obj
+    ([
+       ("kind", Json.String (seg_kind_to_string g.g_kind));
+       ("from", Json.Int (Time.to_int g.g_from));
+       ("to", Json.Int (Time.to_int g.g_to));
+       ("node", Json.Int g.g_node);
+     ]
+    @ (if g.g_src >= 0 then [ ("src", Json.Int g.g_src) ] else [])
+    @ if g.g_msg <> "" then [ ("msg", Json.String g.g_msg) ] else [])
+
+let straggler_json st =
+  Json.Obj
+    [
+      ("node", Json.Int st.st_node);
+      ("msg", Json.String st.st_msg);
+      ("have", Json.Int st.st_have);
+      ("need", Json.Int st.st_need);
+      ("wait", Json.Int st.st_wait);
+      ("at", Json.Int (Time.to_int st.st_at));
+    ]
+
+let attribution_json ~bound a =
+  Json.Obj
+    [
+      ("span", Json.Int a.a_span);
+      ("node", Json.Int a.a_node);
+      ("op", Json.String (Event.op_kind_to_string a.a_op));
+      ("outcome", Json.String (Event.outcome_to_string a.a_outcome));
+      ("start", Json.Int (Time.to_int a.a_started));
+      ("end", Json.Int (Time.to_int a.a_ended));
+      ("latency", Json.Int a.a_latency);
+      ("phases", phases_json a);
+      ("hops", Json.Int a.a_hops);
+      ( "over_bound",
+        Json.Bool (match bound with Some b -> a.a_latency > b | None -> false) );
+      ( "straggler",
+        match a.a_straggler with Some st -> straggler_json st | None -> Json.Null );
+      ("path", Json.List (List.map segment_json a.a_segments));
+    ]
+
+let phase_agg_json p =
+  Json.Obj
+    [
+      ("p50", Json.Int p.pa_p50); ("p99", Json.Int p.pa_p99); ("max", Json.Int p.pa_max);
+    ]
+
+let op_agg_json og =
+  Json.Obj
+    [
+      ("op", Json.String (Event.op_kind_to_string og.og_op));
+      ("count", Json.Int og.og_count);
+      ( "latency",
+        Json.Obj
+          [
+            ("p50", Json.Int og.og_lat_p50); ("p99", Json.Int og.og_lat_p99);
+            ("max", Json.Int og.og_lat_max);
+          ] );
+      ( "phases",
+        Json.Obj
+          (List.map (fun p -> (seg_kind_to_string p.pa_kind, phase_agg_json p)) og.og_phases)
+      );
+    ]
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("ops", Json.List (List.map (attribution_json ~bound:r.r_bound) r.r_ops));
+      ("aggregate", Json.List (List.map op_agg_json r.r_aggregate));
+      ("bound", match r.r_bound with Some b -> Json.Int b | None -> Json.Null);
+      ("over_bound", Json.List (List.map (fun a -> Json.Int a.a_span) r.r_over_bound));
+      ("orphans", Json.List (List.map (fun s -> Json.Int s) r.r_orphans));
+      ("events", Json.Int r.r_events);
+    ]
+
+let chrome_of_report r =
+  let lane_meta a =
+    Json.Obj
+      [
+        ("ph", Json.String "M"); ("pid", Json.Int a.a_node); ("tid", Json.Int a.a_span);
+        ("name", Json.String "thread_name");
+        ( "args",
+          Json.Obj
+            [
+              ( "name",
+                Json.String
+                  (Printf.sprintf "span #%d %s (%dt)" a.a_span
+                     (Event.op_kind_to_string a.a_op) a.a_latency) );
+            ] );
+      ]
+  in
+  let node_meta =
+    let nodes = List.sort_uniq Int.compare (List.map (fun a -> a.a_node) r.r_ops) in
+    List.map
+      (fun n ->
+        Json.Obj
+          [
+            ("ph", Json.String "M"); ("pid", Json.Int n); ("tid", Json.Int 0);
+            ("name", Json.String "process_name");
+            ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "node p%d" n)) ]);
+          ])
+      nodes
+  in
+  let slices a =
+    List.map
+      (fun g ->
+        let name =
+          match g.g_kind with
+          | Transit -> Printf.sprintf "transit %s" g.g_msg
+          | k -> seg_kind_to_string k
+        in
+        Json.Obj
+          ([
+             ("ph", Json.String "X"); ("pid", Json.Int a.a_node); ("tid", Json.Int a.a_span);
+             ("ts", Json.Int (Time.to_int g.g_from)); ("dur", Json.Int (seg_dur g));
+             ("name", Json.String name); ("cat", Json.String "path");
+           ]
+          @
+          if g.g_src >= 0 then [ ("args", Json.Obj [ ("src", Json.Int g.g_src) ]) ] else []))
+      a.a_segments
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (node_meta @ List.map lane_meta r.r_ops @ List.concat_map slices r.r_ops)
+      );
+      ("displayTimeUnit", Json.String "ms");
+    ]

@@ -1,0 +1,146 @@
+open Dds_sim
+
+(** Causal critical-path analysis and latency attribution over
+    exported event traces.
+
+    The trace layer already records everything needed to reconstruct
+    the happens-before relation: every [Send] carries its sender's
+    Lamport stamp, every [Deliver] echoes the matching [Send]'s stamp
+    in [sent] (so [(src, sent)] pairs the two events), and events at
+    one process appear in emission = chronological order. This module
+    rebuilds that DAG, walks each completed operation span backwards
+    from its [Op_end] along the {e gating} edges — at a [Deliver] the
+    message edge, because in the discrete model a handler runs the
+    instant its message arrives, so arrival is what determined the
+    timing — and partitions the span's latency into attributed phases
+    that provably sum to it exactly (every causal chain from
+    [Op_start] to [Op_end] telescopes to the same total).
+
+    Phases:
+    - {b compute} — same-tick handler steps (always 0 in the paper's
+      model, where local processing is instantaneous; kept so traces
+      from a future real backend attribute correctly);
+    - {b transit} — a [Send]→[Deliver] hop on the path;
+    - {b quorum} — the window from the first [Quorum_progress] of a
+      collection round to the one that reached [need], i.e. the time
+      the op waited for its k-th response after the first arrived;
+      path time inside the window is relabelled, and the completing
+      responder is reported as the {e straggler};
+    - {b timer} — a positive-gap process-order edge: the process woke
+      spontaneously (a protocol timer), nothing causal arrived;
+    - {b retry} — the window between the first and last occurrence of
+      a repeated [Op_phase] name (e.g. a sync join re-broadcasting
+      ["inquiry-sent"] after an empty round): churn-induced re-work.
+
+    Retry relabelling takes precedence over quorum; both split path
+    segments at window bounds, so exactness survives relabelling. *)
+
+(** {1 Path segments} *)
+
+type seg_kind = Compute | Transit | Quorum | Timer | Retry
+
+val seg_kind_to_string : seg_kind -> string
+(** ["compute"], ["transit"], ["quorum"], ["timer"], ["retry"]. *)
+
+val all_seg_kinds : seg_kind list
+(** In rendering order: compute, transit, quorum, timer, retry. *)
+
+type segment = {
+  g_kind : seg_kind;
+  g_from : Time.t;  (** segment start (inclusive) *)
+  g_to : Time.t;  (** segment end (exclusive); [g_from = g_to] marks a
+                      zero-duration local step *)
+  g_node : int;  (** the process this time is spent at (the receiver,
+                     for transit) *)
+  g_src : int;  (** transit sender, [-1] for local segments *)
+  g_msg : string;  (** transit message kind, [""] for local segments *)
+}
+
+val seg_dur : segment -> int
+
+(** {1 Per-operation attribution} *)
+
+type straggler = {
+  st_node : int;  (** the responder whose reply completed the quorum *)
+  st_msg : string;  (** wire kind of the completing [Deliver] ([""] if
+                        the trace predates the [from] field) *)
+  st_have : int;
+  st_need : int;
+  st_wait : int;  (** ticks from the round's first response to this one *)
+  st_at : Time.t;  (** completion instant *)
+}
+
+type attribution = {
+  a_span : int;
+  a_node : int;
+  a_op : Event.op_kind;
+  a_outcome : Event.outcome;
+  a_started : Time.t;
+  a_ended : Time.t;
+  a_latency : int;
+  a_compute : int;
+  a_transit : int;
+  a_quorum : int;
+  a_timer : int;
+  a_retry : int;
+  a_hops : int;  (** message edges on the critical path *)
+  a_segments : segment list;  (** the critical path, earliest first;
+                                  durations sum to [a_latency] *)
+  a_straggler : straggler option;
+      (** the longest-waited quorum completion on this span *)
+}
+
+val phase_total : attribution -> seg_kind -> int
+
+(** {1 Aggregate tables} *)
+
+type phase_agg = { pa_kind : seg_kind; pa_p50 : int; pa_p99 : int; pa_max : int }
+
+type op_agg = {
+  og_op : Event.op_kind;
+  og_count : int;
+  og_lat_p50 : int;
+  og_lat_p99 : int;
+  og_lat_max : int;
+  og_phases : phase_agg list;  (** one entry per {!all_seg_kinds} *)
+}
+
+type report = {
+  r_ops : attribution list;  (** completed spans, by start time *)
+  r_aggregate : op_agg list;  (** join/read/write order, present kinds only *)
+  r_bound : int option;  (** the [k*delta] latency bound applied *)
+  r_over_bound : attribution list;  (** ops with [a_latency > bound],
+                                        slowest first — each carries its
+                                        path as the witness *)
+  r_orphans : int list;  (** span ids with no [Op_end] in the trace *)
+  r_events : int;  (** events analyzed *)
+}
+
+val analyze : ?bound:int -> Event.stamped list -> report
+(** Builds the happens-before DAG once, then attributes every
+    completed span. Events must be in emission order (as sinks and
+    exported traces guarantee). [bound] — typically the paper's
+    [k*delta] — populates {!report.r_over_bound}. *)
+
+val slowest : report -> int -> attribution list
+(** The [k] highest-latency ops, slowest first (ties: earlier start
+    first). *)
+
+val find_op : report -> int -> attribution option
+(** Attribution for one span id. *)
+
+(** {1 Rendering and export} *)
+
+val pp_attribution : Format.formatter -> attribution -> unit
+(** Multi-line: a summary header, then one line per path segment. *)
+
+val report_to_json : report -> Json.t
+(** The attribution report: per-op phases + paths + stragglers,
+    aggregate percentile tables, bound violations. Machine-checkable:
+    for every op, the phase values sum to [latency]. *)
+
+val chrome_of_report : report -> Json.t
+(** Chrome trace_event JSON with one lane per operation ([pid] = the
+    op's node, [tid] = span id, a [thread_name] per lane) and one "X"
+    slice per critical-path segment, so a path reads left-to-right in
+    the viewer with transit/quorum/timer/retry color-coded by name. *)

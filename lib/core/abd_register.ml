@@ -64,7 +64,8 @@ let current_span t = Op_span.current t.span
 
 let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
 let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
-let span_quorum t ~have = Op_span.quorum t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
+let span_quorum ?from t ~have =
+  Op_span.quorum ?from t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
 let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let best_reply t =
@@ -124,7 +125,7 @@ let handle t ~src msg =
       if r_sn = t.r_sn then begin
         Pid.Table.replace t.replies src value;
         (match t.pending with
-        | Query _ -> span_quorum t ~have:(Pid.Table.length t.replies)
+        | Query _ -> span_quorum t ~from:(Pid.to_int src) ~have:(Pid.Table.length t.replies)
         | Idle | Propagate _ -> ());
         check_completion t
       end
@@ -137,7 +138,7 @@ let handle t ~src msg =
       if wid = t.wid then begin
         t.acks <- Pid.Set.add src t.acks;
         (match t.pending with
-        | Propagate _ -> span_quorum t ~have:(Pid.Set.cardinal t.acks)
+        | Propagate _ -> span_quorum t ~from:(Pid.to_int src) ~have:(Pid.Set.cardinal t.acks)
         | Idle | Query _ -> ());
         check_completion t
       end

@@ -78,7 +78,8 @@ let current_span t = Op_span.current t.span
 
 let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
 let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
-let span_quorum t ~have = Op_span.quorum t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
+let span_quorum ?from t ~have =
+  Op_span.quorum ?from t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
 let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
 
 let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
@@ -202,7 +203,7 @@ let handle t ~src msg =
         Pid.Table.replace t.replies src value;
         (match t.pending with
         | Joining _ | Reading _ | Write_read _ ->
-          span_quorum t ~have:(Pid.Table.length t.replies)
+          span_quorum t ~from:(Pid.to_int src) ~have:(Pid.Table.length t.replies)
         | Idle | Repairing _ | Write_collect _ -> ());
         send t src (Ack { sn = value.Value.sn });
         check_completion t
@@ -216,7 +217,7 @@ let handle t ~src msg =
       (match t.pending with
       | (Write_collect _ | Repairing _) when sn = t.write_sn ->
         t.write_ack <- Pid.Set.add src t.write_ack;
-        span_quorum t ~have:(Pid.Set.cardinal t.write_ack);
+        span_quorum t ~from:(Pid.to_int src) ~have:(Pid.Set.cardinal t.write_ack);
         check_completion t
       | _ -> ())
     | Dl_prev { r_sn } ->

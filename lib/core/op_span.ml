@@ -33,10 +33,10 @@ let phase t ~net ~sched ~pid name =
     emit net sched (Event.Op_phase { span; node = Pid.to_int pid; phase = name })
   | None -> ()
 
-let quorum t ~net ~sched ~pid ~have ~need =
+let quorum ?(from = -1) t ~net ~sched ~pid ~have ~need =
   match t.current with
   | Some (span, _) ->
-    emit net sched (Event.Quorum_progress { span; node = Pid.to_int pid; have; need })
+    emit net sched (Event.Quorum_progress { span; node = Pid.to_int pid; have; need; from })
   | None -> ()
 
 let finish ?(outcome = Event.Completed) ?value t ~net ~sched ~pid =

@@ -44,8 +44,19 @@ val phase : t -> net:'a Network.t -> sched:Scheduler.t -> pid:Pid.t -> string ->
 (** Emits an [Op_phase] mark on the open span (no-op without one). *)
 
 val quorum :
-  t -> net:'a Network.t -> sched:Scheduler.t -> pid:Pid.t -> have:int -> need:int -> unit
-(** Emits a [Quorum_progress] on the open span (no-op without one). *)
+  ?from:int ->
+  t ->
+  net:'a Network.t ->
+  sched:Scheduler.t ->
+  pid:Pid.t ->
+  have:int ->
+  need:int ->
+  unit
+(** Emits a [Quorum_progress] on the open span (no-op without one).
+    [from] is the responder whose message advanced the count (default
+    [-1] = unknown); when [have = need] it names exactly which
+    [Deliver] completed the quorum, which latency attribution
+    ({!Dds_causal}) relies on. *)
 
 val finish :
   ?outcome:Event.outcome ->

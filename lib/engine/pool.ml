@@ -145,7 +145,18 @@ let work t w batch =
       | None ->
         if Atomic.get batch.remaining > 0 then begin
           incr idle;
-          if !idle land 63 = 0 then Unix.sleepf 0.0002 else Domain.cpu_relax ();
+          (* Exponential backoff. Steal scans almost never succeed once
+             the deques have drained (~0.001% measured on sweep-shaped
+             batches), so a fixed-cadence sleep still burns most of a
+             core per idle worker re-scanning. Spin only for the first
+             few scans (the window where a push is actually likely),
+             then sleep with doubling duration up to a 1.6ms cap. The
+             backoff only delays *when* an idle worker re-scans — job
+             results land in the slot array by submission index — so
+             merged output stays byte-identical. [idle] resets to 0 on
+             every pop or successful steal. *)
+          if !idle <= 32 then Domain.cpu_relax ()
+          else Unix.sleepf (5e-5 *. float_of_int (1 lsl Stdlib.min (!idle - 33) 5));
           loop ()
         end
         else flush_idle (if t.profile = None then 0.0 else Unix.gettimeofday ()))
@@ -178,8 +189,24 @@ let worker_loop t w =
   in
   wait 0
 
-let create ?jobs ?profile () =
+let create ?jobs ?minor_heap_words ?profile () =
   let workers = Stdlib.max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  (* Apply the requested minor-heap size on the submitting domain now
+     and inside each spawned domain below: [Gc.set] is domain-local in
+     OCaml 5, so setting it here alone would leave workers 1.. on the
+     runtime default. *)
+  let apply_gc () =
+    match minor_heap_words with
+    | Some words -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = Stdlib.max 4096 words }
+    | None -> ()
+  in
+  apply_gc ();
+  (match profile with
+  | Some p ->
+    let g = Gc.get () in
+    Profile.set_gc_params p
+      [ ("minor_heap_words", g.Gc.minor_heap_size); ("space_overhead", g.Gc.space_overhead) ]
+  | None -> ());
   let t =
     {
       workers;
@@ -196,7 +223,11 @@ let create ?jobs ?profile () =
       profile;
     }
   in
-  t.domains <- List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t.domains <-
+    List.init (workers - 1) (fun i ->
+        Domain.spawn (fun () ->
+            apply_gc ();
+            worker_loop t (i + 1)));
   t
 
 let jobs t = t.workers
@@ -217,8 +248,8 @@ let shutdown t =
 
 let profile t = t.profile
 
-let with_pool ?jobs ?profile f =
-  let t = create ?jobs ?profile () in
+let with_pool ?jobs ?minor_heap_words ?profile f =
+  let t = create ?jobs ?minor_heap_words ?profile () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let run_batch t packed =

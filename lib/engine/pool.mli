@@ -34,9 +34,19 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs] defaults
     to. *)
 
-val create : ?jobs:int -> ?profile:Dds_profile.Profile.t -> unit -> t
+val create : ?jobs:int -> ?minor_heap_words:int -> ?profile:Dds_profile.Profile.t -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
     least 1 total worker; default {!default_jobs}).
+
+    When [minor_heap_words] is given, [Gc.set] applies it as the
+    minor-heap size (clamped to at least 4096 words) on the submitting
+    domain {e and} inside every spawned worker domain — GC parameters
+    are domain-local in OCaml 5, so tuning only the submitter would
+    leave the workers on the runtime default. The active parameters
+    are recorded into [profile] (when present) and surface in its
+    summary and Chrome metadata. Sizing the minor heap only moves
+    {e when} collections happen, never what jobs compute: output stays
+    byte-identical.
 
     When [profile] is given, the pool records per-domain activity
     spans into it — one [Job] span (with [Gc.quick_stat] deltas) per
@@ -55,7 +65,8 @@ val shutdown : t -> unit
 (** Stops and joins every worker domain. Idempotent; after shutdown
     the pool rejects new batches ([Invalid_argument]). *)
 
-val with_pool : ?jobs:int -> ?profile:Dds_profile.Profile.t -> (t -> 'a) -> 'a
+val with_pool :
+  ?jobs:int -> ?minor_heap_words:int -> ?profile:Dds_profile.Profile.t -> (t -> 'a) -> 'a
 (** [create], run, and {!shutdown} even on exceptions. *)
 
 val profile : t -> Dds_profile.Profile.t option

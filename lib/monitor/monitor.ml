@@ -53,6 +53,7 @@ type t = {
   mutable majority_armed : bool;
   (* liveness *)
   open_spans : (int, open_span) Hashtbl.t;
+  mutable overdue_rev : int list;  (** span ids the liveness monitor flagged *)
   mutable gst : Time.t option;
   mutable last_seen : Time.t;
   (* inversions: completed reads as (responded, running max sn),
@@ -71,6 +72,7 @@ let create cfg =
     active = Hashtbl.create 64;
     majority_armed = true;
     open_spans = Hashtbl.create 64;
+    overdue_rev = [];
     gst = None;
     last_seen = Time.zero;
     reads = Array.make 64 (Time.zero, 0);
@@ -78,6 +80,8 @@ let create cfg =
   }
 
 let violations t = List.rev t.out_rev
+
+let overdue_spans t = List.sort_uniq Int.compare t.overdue_rev
 
 let fire t ~monitor ~at detail =
   let v = { monitor; at; detail } in
@@ -175,6 +179,7 @@ let liveness_scan t ~at =
           match deadline t s with
           | Some d when Time.to_int at > d ->
             s.o_overdue <- true;
+            t.overdue_rev <- span :: t.overdue_rev;
             fire t ~monitor:"liveness" ~at
               (Printf.sprintf "%s by p%d (span %d) open since t=%d, past deadline t=%d"
                  (Event.op_kind_to_string s.o_op)

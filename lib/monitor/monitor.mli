@@ -84,5 +84,12 @@ val finalize : t -> at:Time.t -> violation list
 val violations : t -> violation list
 (** Everything fired so far, in firing order. *)
 
+val overdue_spans : t -> int list
+(** Span ids the liveness monitor has flagged, sorted. The structural
+    counterpart of the ["liveness"] violations' detail strings: causal
+    analysis ({!Dds_causal}) cross-references these ids to attach a
+    critical-path witness to each bound violation without parsing
+    prose. *)
+
 val run : config -> Event.stamped list -> violation list
 (** [feed]s the whole trace, then {!finalize}s at its last timestamp. *)

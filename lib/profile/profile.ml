@@ -50,9 +50,19 @@ let new_buf cap =
     stack = [];
   }
 
-type t = { origin : float; nworkers : int; max_spans : int; bufs : buf array }
+type t = {
+  origin : float;
+  nworkers : int;
+  max_spans : int;
+  bufs : buf array;
+  mutable gc_params : (string * int) list;
+      (* active GC settings noted by the engine (e.g. minor_heap_words);
+         surfaced in the summary and as Chrome metadata *)
+}
 
 let workers t = t.nworkers
+let set_gc_params t params = t.gc_params <- params
+let gc_params t = t.gc_params
 let now () = Unix.gettimeofday ()
 
 let grow b =
@@ -152,6 +162,7 @@ let create ?(max_spans = 65536) ~workers () =
     nworkers = workers;
     max_spans;
     bufs = Array.init workers (fun _ -> new_buf 1024);
+    gc_params = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +232,7 @@ type summary = {
   s_top_jobs : (string * float * float) list;
   s_dropped : int;
   s_dominant : string;
+  s_gc_params : (string * int) list;
 }
 
 let summary ?(top = 5) t =
@@ -350,6 +362,7 @@ let summary ?(top = 5) t =
     s_top_jobs = top_jobs;
     s_dropped = !dropped;
     s_dominant = dominant;
+    s_gc_params = t.gc_params;
   }
 
 let pp_summary ppf s =
@@ -361,6 +374,10 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "  alloc    : %.3g minor words (%.3g/job), %.3g promoted, %d minor / %d major GCs@."
     s.s_minor_words s.s_minor_words_per_job s.s_promoted_words s.s_minor_cols s.s_major_cols;
+  if s.s_gc_params <> [] then
+    Format.fprintf ppf "  gc       : %s@."
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.s_gc_params));
   List.iter
     (fun (name, n, secs) ->
       Format.fprintf ppf "  phase    : %-10s %6d span(s) %8.3fs@." name n secs)
@@ -399,6 +416,19 @@ let to_chrome t =
                ("name", String "thread_name");
                ("args", Obj [ ("name", String (Printf.sprintf "domain %d" w)) ]);
              ])
+  in
+  let meta =
+    if t.gc_params = [] then meta
+    else
+      meta
+      @ [
+          J.Obj
+            [
+              ("ph", J.String "M"); ("pid", Int 0); ("tid", Int 0);
+              ("name", String "gc_params");
+              ("args", Obj (List.map (fun (k, v) -> (k, J.Int v)) t.gc_params));
+            ];
+        ]
   in
   let span_events =
     List.map
@@ -449,6 +479,7 @@ let summary_json s =
       ("minor_words_per_job", J.Float s.s_minor_words_per_job);
       ("dropped_spans", J.Int s.s_dropped);
       ("dominant", J.String s.s_dominant);
+      ("gc_params", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) s.s_gc_params));
       ( "workers",
         J.List
           (List.map

@@ -80,6 +80,15 @@ val record_job :
 val steal_attempt : t -> worker:int -> success:bool -> unit
 (** Count one steal scan (over every victim deque) by [worker]. *)
 
+val set_gc_params : t -> (string * int) list -> unit
+(** Note the GC settings active in the engine's domains (e.g.
+    [("minor_heap_words", 262144)]) — {!Dds_engine.Pool.create} calls
+    this so the tuning in effect travels with the recording. Surfaced
+    in {!summary} ([s_gc_params]), {!summary_json} (["gc_params"]) and
+    as a ["gc_params"] metadata event in {!to_chrome}. *)
+
+val gc_params : t -> (string * int) list
+
 (** {1 Reading back} *)
 
 type span = {
@@ -133,6 +142,9 @@ type summary = {
       (** one line naming the dominant cost: the largest share of
           worker-seconds among idle time, each phase, and
           non-phase job time *)
+  s_gc_params : (string * int) list;
+      (** GC settings active in the engine's domains, as noted via
+          {!set_gc_params}; empty when the engine never noted any *)
 }
 
 val summary : ?top:int -> t -> summary

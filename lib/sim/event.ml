@@ -16,7 +16,7 @@ type t =
   | Op_start of { span : int; node : int; op : op_kind; value : payload option }
   | Op_phase of { span : int; node : int; phase : string }
   | Op_end of { span : int; node : int; op : op_kind; outcome : outcome; value : payload option }
-  | Quorum_progress of { span : int; node : int; have : int; need : int }
+  | Quorum_progress of { span : int; node : int; have : int; need : int; from : int }
   | Gst_reached
   | Violation of { monitor : string; detail : string }
   | Fault_injected of { fault : string; src : int; dst : int; kind : string }
@@ -69,8 +69,9 @@ let pp ppf = function
   | Op_end { span; node; op; outcome; value } ->
     Format.fprintf ppf "op-end #%d p%d %s %s%a" span node (op_kind_to_string op)
       (outcome_to_string outcome) pp_value_opt value
-  | Quorum_progress { span; node; have; need } ->
-    Format.fprintf ppf "quorum #%d p%d %d/%d" span node have need
+  | Quorum_progress { span; node; have; need; from } ->
+    if from < 0 then Format.fprintf ppf "quorum #%d p%d %d/%d" span node have need
+    else Format.fprintf ppf "quorum #%d p%d %d/%d from p%d" span node have need from
   | Gst_reached -> Format.pp_print_string ppf "gst-reached"
   | Violation { monitor; detail } -> Format.fprintf ppf "violation[%s] %s" monitor detail
   | Fault_injected { fault; src; dst; kind } ->

@@ -67,7 +67,12 @@ type t =
       (** [value] is the operation's result when [Completed]: the value
           a read or join returned, the value a write actually wrote.
           [None] when [Aborted]. *)
-  | Quorum_progress of { span : int; node : int; have : int; need : int }
+  | Quorum_progress of { span : int; node : int; have : int; need : int; from : int }
+      (** [from] is the process whose reply advanced the count to
+          [have] ([-1] when unknown, e.g. traces written before the
+          field existed). When [have = need] it names the responder
+          that completed the quorum, which is what lets latency
+          attribution ({!Dds_causal}) name stragglers exactly. *)
   | Gst_reached  (** the delay model's global stabilization time *)
   | Violation of { monitor : string; detail : string }
       (** an online monitor ({!Dds_monitor.Monitor}) caught an

@@ -55,12 +55,13 @@ let event_to_json { at; ev } =
          ("outcome", String (outcome_to_string outcome));
        ]
       @ payload_fields value)
-  | Quorum_progress { span; node; have; need } ->
+  | Quorum_progress { span; node; have; need; from } ->
     Json.Obj
-      [
-        t; ("e", String "quorum"); ("span", Int span); ("node", Int node); ("have", Int have);
-        ("need", Int need);
-      ]
+      ([
+         t; ("e", String "quorum"); ("span", Int span); ("node", Int node); ("have", Int have);
+         ("need", Int need);
+       ]
+      @ if from >= 0 then [ ("from", Json.Int from) ] else [])
   | Gst_reached -> Json.Obj [ t; ("e", String "gst") ]
   | Violation { monitor; detail } ->
     Json.Obj
@@ -157,7 +158,7 @@ let event_of_json j =
         let* node = int "node" in
         let* have = int "have" in
         let* need = int "need" in
-        Ok (Quorum_progress { span; node; have; need })
+        Ok (Quorum_progress { span; node; have; need; from = int_default "from" (-1) })
       | "gst" -> Ok Gst_reached
       | "violation" ->
         let* monitor = str "monitor" in
