@@ -1391,14 +1391,39 @@ let explain_cmd =
    the regularity checker, offline: everything the in-process checkers
    see is reconstructed from the trace alone (span payloads, Lamport
    stamps, membership events). Exits non-zero when anything fired. *)
-let run_audit path (proto : Protocol.t) initial c =
-  match read_file path with
-  | exception Sys_error e -> `Error (false, e)
-  | text -> (
-    match Export.events_of_jsonl_lenient text with
-    | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
-    | Ok (evs, warnings) ->
-      List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+let run_audit paths (proto : Protocol.t) initial merged_out c =
+  let parse path =
+    match read_file path with
+    | exception Sys_error e -> Error e
+    | text -> (
+      match Export.events_of_jsonl_lenient text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok (evs, warnings) ->
+        List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+        Ok evs)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match parse p with Ok evs -> collect (evs :: acc) rest | Error e -> Error e)
+  in
+  match collect [] paths with
+  | Error e -> `Error (false, e)
+  | Ok per_file -> (
+    (* A live deployment writes one trace per node; a stable merge on
+       the shared timestamp reconstructs the single trace the simulator
+       would have produced (span ids are globally unique already — each
+       node offsets its own by pid * 1_000_000). *)
+    let evs =
+      match per_file with
+      | [ evs ] -> evs
+      | many ->
+        List.stable_sort
+          (fun (a : Event.stamped) b -> Time.compare a.Event.at b.Event.at)
+          (List.concat many)
+    in
+    let path = String.concat "+" paths in
+    (
       let cfg = monitor_config_for proto c in
       (* Run the monitors by hand (rather than Monitor.run) to keep
          the instance: overdue_spans is the structural witness hook
@@ -1414,6 +1439,11 @@ let run_audit path (proto : Protocol.t) initial c =
       let violations = Dds_monitor.Monitor.violations m in
       Format.printf "%s: %d events audited (%s monitors, n=%d, delta=%d)@." path
         (List.length evs) proto.Protocol.name c.n c.delta;
+      (match merged_out with
+      | Some out ->
+        write_file out (Export.jsonl_of_events evs);
+        Format.printf "merged     : %d file(s) -> %s@." (List.length per_file) out
+      | None -> ());
       (match cfg.Dds_monitor.Monitor.churn_bound with
       | Some b -> Format.printf "churn bound: %.5f per tick@." b
       | None -> Format.printf "churn bound: none@.");
@@ -1461,16 +1491,33 @@ let run_audit path (proto : Protocol.t) initial c =
         Format.printf "causal graph written to %s@." out
       | None -> ());
       if violations = [] && Regularity.is_ok report then `Ok ()
-      else `Error (false, "audit found violations"))
+      else `Error (false, "audit found violations")))
 
 let audit_cmd =
   let doc =
-    "Replay a JSONL trace through the assumption/safety monitors (churn rate vs the \
-     protocol's admissible bound, active majority, span liveness, new/old inversions) \
-     and the regularity checker. Exits non-zero if anything fired."
+    "Replay one or more JSONL traces through the assumption/safety monitors (churn rate \
+     vs the protocol's admissible bound, active majority, span liveness, new/old \
+     inversions) and the regularity checker. Multiple files (one per live node from \
+     $(b,dds serve --trace-out)) are stable-merged on their shared time line first; \
+     wire traces are stamped in milliseconds, so pass $(b,--delta) in ms there (the \
+     runtime's 1 tick = 1 ms convention). Exits non-zero if anything fired."
   in
-  let file_t =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSONL trace file.")
+  let files_t =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "JSONL trace file(s). Several files — e.g. one per node of a live \
+             deployment — are merged by timestamp before auditing.")
+  in
+  let merged_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "merged-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged, time-sorted trace as JSONL (feed it to $(b,dds explain) \
+             or $(b,dds inspect), which consume a single file).")
   in
   let proto_t =
     Arg.(
@@ -1492,7 +1539,296 @@ let audit_cmd =
   in
   Cmd.v
     (Cmd.info "audit" ~doc)
-    Term.(ret (const run_audit $ file_t $ proto_t $ initial_t $ common_t))
+    Term.(ret (const run_audit $ files_t $ proto_t $ initial_t $ merged_out_t $ common_t))
+
+(* serve / client / load *)
+
+(* The Unix runtime backend (lib/runtime_unix): the registry's protocol
+   state machines, unchanged, run over TCP instead of the simulator.
+   Convention: 1 simulator tick = 1 ms. --delta-ms is the message-delay
+   bound the deployment assumes, live traces are stamped in
+   milliseconds since --epoch (all nodes of one deployment must share
+   it; default is today's midnight UTC, so same-day processes agree
+   without coordination), and `dds audit`/`dds explain` consume the
+   traces unchanged with --delta given in ms. *)
+
+module Runix = Dds_runtime_unix
+
+let parse_peers s =
+  match
+    List.map
+      (fun part ->
+        match String.rindex_opt part ':' with
+        | Some i ->
+          let host = String.sub part 0 i in
+          let port = int_of_string (String.sub part (i + 1) (String.length part - i - 1)) in
+          ((if host = "" then "127.0.0.1" else host), port)
+        | None -> failwith part)
+      (String.split_on_char ',' s)
+  with
+  | addrs -> Ok (Array.of_list addrs)
+  | exception _ ->
+    Error (Printf.sprintf "cannot parse %S (expected HOST:PORT[,HOST:PORT...])" s)
+
+let peers_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "peers" ] ~docv:"ADDRS"
+        ~doc:
+          "The whole mesh as HOST:PORT,HOST:PORT,... — order matters: position in the \
+           list is the node's pid, and every node of one deployment must be given the \
+           identical list.")
+
+let run_serve (proto : Protocol.t) id peers join initial delta_ms epoch quorum trace_out
+    metrics_out =
+  match parse_peers peers with
+  | Error e -> `Error (false, e)
+  | Ok addrs -> (
+    let n = Array.length addrs in
+    if id < 0 || id >= n then
+      `Error (false, Printf.sprintf "--id %d out of range [0, %d)" id n)
+    else
+      let module R = (val proto.Protocol.runner : Protocol.RUNNER) in
+      match R.params { Protocol.n; delta = delta_ms; quorum } with
+      | Error e -> `Error (false, e)
+      | Ok params ->
+        let module N = Runix.Node.Make (R.D.Protocol) in
+        let loop = Runix.Loop.create () in
+        let epoch_ms =
+          match epoch with Some e -> e | None -> Runix.Node.default_epoch_ms ()
+        in
+        let cfg =
+          {
+            Runix.Node.self = id;
+            addrs;
+            join;
+            initial_value = initial;
+            epoch_ms;
+            events_enabled = trace_out <> None;
+            trace_path = trace_out;
+            listen_fd = None;
+          }
+        in
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let node = N.create ~loop cfg params in
+        let quit = ref false in
+        let stop (_ : int) = quit := true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        let host, port = addrs.(id) in
+        Format.printf "%s node %d/%d on %s:%d (%s; delta = %d ms; epoch = %.0f)@."
+          proto.Protocol.name id n host port
+          (if join then "joining" else "founding")
+          delta_ms epoch_ms;
+        (match trace_out with
+        | Some path ->
+          Format.printf "trace      : %s@." path;
+          Format.printf
+            "audit with : dds audit <every node's trace> --proto %s --nodes %d --delta \
+             %d@."
+            proto.Protocol.name n delta_ms
+        | None -> ());
+        Format.pp_print_flush Format.std_formatter ();
+        Runix.Loop.run_while loop (fun () -> not !quit);
+        N.shutdown node;
+        (match metrics_out with
+        | Some out ->
+          write_file out
+            (Json.to_string (Export.metrics_to_json (Metrics.snapshot (N.metrics node)))
+            ^ "\n")
+        | None -> ());
+        `Ok ())
+
+let serve_cmd =
+  let doc =
+    "Run one live register node over TCP. Start one $(b,dds serve) process per entry \
+     in $(b,--peers) (same list, same $(b,--delta-ms), same $(b,--epoch) everywhere); \
+     the processes dial each other into a full mesh and serve client reads/writes. \
+     Stop with SIGTERM/SIGINT (crash-stop = kill -9). With $(b,--trace-out) each node \
+     streams the same Lamport-stamped JSONL event stream the simulator records, \
+     stamped in ms (1 tick = 1 ms), ready for $(b,dds audit)."
+  in
+  let proto_pos_t =
+    Arg.(
+      required & pos 0 (some proto_conv) None & info [] ~docv:"PROTOCOL" ~doc:proto_doc)
+  in
+  let id_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"I" ~doc:"This node's index (pid) into the --peers list.")
+  in
+  let join_t =
+    Arg.(
+      value & flag
+      & info [ "join" ]
+          ~doc:
+            "Enter through the protocol's join operation instead of founding: the node \
+             waits for links to a majority of the mesh, runs join (INQUIRY round / \
+             quorum wait), and only then serves. Default: founding member, active \
+             immediately with --initial.")
+  in
+  let initial_t =
+    Arg.(
+      value & opt int 0
+      & info [ "initial" ] ~docv:"INT" ~doc:"Founding members' initial register value.")
+  in
+  let delta_ms_t =
+    Arg.(
+      value & opt int 50
+      & info [ "delta-ms" ] ~docv:"MS"
+          ~doc:
+            "The deployment's assumed message-delay bound in milliseconds (the \
+             simulator's delta, under 1 tick = 1 ms). Drives the sync protocol's \
+             timer waits; quote the same value to dds audit --delta.")
+  in
+  let epoch_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epoch" ] ~docv:"UNIX_MS"
+          ~doc:
+            "Shared time origin (unix epoch milliseconds). Defaults to today's \
+             midnight UTC — fine when all nodes start the same UTC day; pass an \
+             explicit value for deployments that straddle midnight.")
+  in
+  let quorum_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q" ~doc:"Override the quorum size (es only).")
+  in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc:"Stream this node's events as JSONL.")
+  in
+  let metrics_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"On shutdown, write this node's counters as JSON.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run_serve $ proto_pos_t $ id_t $ peers_t $ join_t $ initial_t $ delta_ms_t
+       $ epoch_t $ quorum_t $ trace_out_t $ metrics_out_t))
+
+let run_client addr op datum =
+  match parse_peers addr with
+  | Error e -> `Error (false, e)
+  | Ok addrs when Array.length addrs <> 1 -> `Error (false, "client takes one HOST:PORT")
+  | Ok addrs -> (
+    let host, port = addrs.(0) in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match Runix.Client.connect ~host ~port with
+    | exception Unix.Unix_error (err, _, _) ->
+      `Error (false, Printf.sprintf "%s:%d: %s" host port (Unix.error_message err))
+    | c ->
+      let r =
+        match (op, datum) with
+        | "read", None -> Ok (Runix.Client.read c)
+        | "write", Some v -> Ok (Runix.Client.write c v)
+        | "write", None -> Error "write takes a value: dds client HOST:PORT write INT"
+        | "read", Some _ -> Error "read takes no value"
+        | op, _ -> Error (Printf.sprintf "unknown operation %S (read|write)" op)
+      in
+      Runix.Client.close c;
+      (match r with
+      | Error e -> `Error (false, e)
+      | Ok (Error e) -> `Error (false, Printf.sprintf "node answered: %s" e)
+      | Ok (Ok v) ->
+        Format.printf "%a@." Value.pp v;
+        `Ok ()))
+
+let client_cmd =
+  let doc =
+    "One register operation against a live node: $(b,dds client HOST:PORT read) prints \
+     the value (as datum#sn), $(b,dds client HOST:PORT write INT) writes and prints \
+     the stored value. Writes should go to node 0 — the deployments assume one writer."
+  in
+  let addr_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc:"Node address.")
+  in
+  let op_t =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OP" ~doc:"read or write.")
+  in
+  let datum_t =
+    Arg.(value & pos 2 (some int) None & info [] ~docv:"INT" ~doc:"Value to write.")
+  in
+  Cmd.v (Cmd.info "client" ~doc) Term.(ret (const run_client $ addr_t $ op_t $ datum_t))
+
+let run_load peers clients duration write_ratio seed metrics_out =
+  match parse_peers peers with
+  | Error e -> `Error (false, e)
+  | Ok addrs -> (
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match Runix.Load.run ~addrs ~clients ~duration_s:duration ~write_ratio ~seed with
+    | exception Failure e -> `Error (false, e)
+    | r ->
+      let row label (h : Histogram.t) =
+        [
+          label;
+          Report.cell_int (Histogram.count h);
+          Report.cell_float (Histogram.percentile h 50.0);
+          Report.cell_float (Histogram.percentile h 99.0);
+          Report.cell_float (Histogram.max_value h);
+        ]
+      in
+      Report.print
+        (Report.make ~title:"load summary"
+           ~headers:[ "op"; "n"; "p50 (us)"; "p99 (us)"; "max (us)" ]
+           [ row "read" r.Runix.Load.read_lat_us; row "write" r.Runix.Load.write_lat_us ]);
+      Format.printf "throughput : %d op(s) in %.2f s = %.0f op/s (%d read / %d write)@."
+        r.Runix.Load.ops r.Runix.Load.elapsed_s (Runix.Load.ops_per_s r)
+        r.Runix.Load.reads r.Runix.Load.writes;
+      Format.printf "errors     : %d@." r.Runix.Load.errors;
+      (match metrics_out with
+      | Some out ->
+        write_file out
+          (Json.to_string
+             (Export.metrics_to_json (Metrics.snapshot (Runix.Load.metrics_of_report r)))
+          ^ "\n")
+      | None -> ());
+      if r.Runix.Load.errors = 0 then `Ok () else `Error (false, "load saw errors"))
+
+let load_cmd =
+  let doc =
+    "Closed-loop load generator against a live deployment: N concurrent client \
+     connections each issue read/write, wait, repeat, for the given duration. Writes \
+     all route to node 0 (single-writer regime); latency lands in the same histogram / \
+     metrics pipeline as the simulator's tables."
+  in
+  let clients_t =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop connections.")
+  in
+  let duration_t =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"How long to run.")
+  in
+  let write_ratio_t =
+    Arg.(
+      value & opt float 0.1
+      & info [ "write-ratio" ] ~docv:"R" ~doc:"Fraction of operations that write.")
+  in
+  let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Rng seed.") in
+  let metrics_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write ops/latency counters + histograms as JSON.")
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      ret
+        (const run_load $ peers_t $ clients_t $ duration_t $ write_ratio_t $ seed_t
+       $ metrics_out_t))
 
 (* hunt *)
 
@@ -1882,6 +2218,9 @@ let main_cmd =
       inspect_cmd;
       explain_cmd;
       audit_cmd;
+      serve_cmd;
+      client_cmd;
+      load_cmd;
       hunt_cmd;
       check_cmd;
       profile_cmd;

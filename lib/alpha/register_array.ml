@@ -79,7 +79,7 @@ let add_process t pid ~initial =
         notify t
       end
     in
-    Es_register.create ~sched:t.sched ~net:t.nets.(reg)
+    Es_register.create ~rt:(Dds_runtime.Runtime.of_sim ~sched:t.sched ~net:t.nets.(reg))
       ~params:(Es_register.default_params ~n:t.n)
       ~pid ~initial ~on_active
   in

@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_runtime
 open Dds_spec
 
 type params = { group_size : int; read_write_back : bool }
@@ -27,6 +28,34 @@ let msg_kind = function
   | Write_req _ -> "WRITE"
   | Write_ack _ -> "WRITE_ACK"
 
+let put_msg b = function
+  | Read_req { r_sn } ->
+    Wire.put_u8 b 0;
+    Wire.put_int b r_sn
+  | Read_reply { value; r_sn } ->
+    Wire.put_u8 b 1;
+    Value.put b value;
+    Wire.put_int b r_sn
+  | Write_req { value; wid } ->
+    Wire.put_u8 b 2;
+    Value.put b value;
+    Wire.put_int b wid
+  | Write_ack { wid } ->
+    Wire.put_u8 b 3;
+    Wire.put_int b wid
+
+let get_msg r =
+  match Wire.get_u8 r with
+  | 0 -> Read_req { r_sn = Wire.get_int r }
+  | 1 ->
+    let value = Value.get r in
+    Read_reply { value; r_sn = Wire.get_int r }
+  | 2 ->
+    let value = Value.get r in
+    Write_req { value; wid = Wire.get_int r }
+  | 3 -> Write_ack { wid = Wire.get_int r }
+  | t -> raise (Wire.Malformed (Printf.sprintf "abd message tag %d" t))
+
 type pending =
   | Idle
   | Query of { k : Value.t -> unit; then_write : int option }
@@ -36,8 +65,7 @@ type pending =
       (** phase 2: write-back (read) or dissemination (write). *)
 
 type node = {
-  sched : Scheduler.t;
-  net : msg Network.t;
+  rt : msg Runtime.t;
   params : params;
   pid : Pid.t;
   server : bool;
@@ -59,14 +87,14 @@ let snapshot t = t.register
 let is_server t = t.server
 let quorum t = majority t.params
 let current_sn t = match t.register with Some v -> v.Value.sn | None -> -1
-let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
+let send t dst msg = Runtime.send t.rt ~src:t.pid ~dst msg
 let current_span t = Op_span.current t.span
 
-let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
-let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
+let span_start ?value t op = Op_span.start ?value t.span ~rt:t.rt ~pid:t.pid op
+let span_phase t name = Op_span.phase t.span ~rt:t.rt ~pid:t.pid name
 let span_quorum ?from t ~have =
-  Op_span.quorum ?from t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
-let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
+  Op_span.quorum ?from t.span ~rt:t.rt ~pid:t.pid ~have ~need:(quorum t)
+let span_finish ?value t = Op_span.finish ?value t.span ~rt:t.rt ~pid:t.pid
 
 let best_reply t =
   Pid.Table.fold
@@ -78,7 +106,7 @@ let start_propagate t value k =
   t.acks <- Pid.Set.empty;
   t.pending <- Propagate { k; value };
   span_phase t "write-back-sent";
-  Network.broadcast t.net ~src:t.pid (Write_req { value; wid = t.wid })
+  Runtime.broadcast t.rt ~src:t.pid (Write_req { value; wid = t.wid })
 
 let check_completion t =
   match t.pending with
@@ -148,13 +176,12 @@ let start_query t ~then_write k =
   Pid.Table.reset t.replies;
   t.pending <- Query { k; then_write };
   span_phase t "query-sent";
-  Network.broadcast t.net ~src:t.pid (Read_req { r_sn = t.r_sn })
+  Runtime.broadcast t.rt ~src:t.pid (Read_req { r_sn = t.r_sn })
 
-let create ~sched ~net ~params ~pid ~initial ~on_active =
+let create ~rt ~params ~pid ~initial ~on_active =
   let t =
     {
-      sched;
-      net;
+      rt;
       params;
       pid;
       server = (match initial with Some _ -> true | None -> false);
@@ -169,7 +196,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
       span = Op_span.make ();
     }
   in
-  Network.attach net pid (fun ~src msg -> handle t ~src msg);
+  Runtime.attach rt pid (fun ~src msg -> handle t ~src msg);
   (match initial with
   | Some v ->
     t.active <- true;
@@ -201,4 +228,4 @@ let write t data ~k =
 
 let leave t =
   t.left <- true;
-  Network.detach t.net t.pid
+  Runtime.detach t.rt t.pid

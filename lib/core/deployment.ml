@@ -1,6 +1,7 @@
 open Dds_sim
 open Dds_net
 open Dds_churn
+open Dds_runtime
 open Dds_spec
 
 type config = {
@@ -79,6 +80,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
     cfg : config;
     sched : Scheduler.t;
     net : P.msg Network.t;
+    rt : P.msg Runtime.t;
     membership : Membership.t;
     history : History.t;
     metrics : Metrics.t;
@@ -160,9 +162,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
           Value.pp value
       end
     in
-    let node =
-      P.create ~sched:t.sched ~net:t.net ~params:t.params ~pid ~initial:None ~on_active
-    in
+    let node = P.create ~rt:t.rt ~params:t.params ~pid ~initial:None ~on_active in
     Pid.Table.replace t.nodes pid node;
     Trace.recordf t.trace ~time:(now t) ~topic:"join" "%a enters" Pid.pp pid;
     pid
@@ -229,11 +229,13 @@ module Make (P : Register_intf.PROTOCOL) = struct
        | None -> ());
     let initial_value = Value.initial cfg.initial_value in
     let history = History.create ~initial:initial_value in
+    let rt = Runtime.of_sim ~sched ~net in
     let t =
       {
         cfg;
         sched;
         net;
+        rt;
         membership;
         history;
         metrics;
@@ -256,7 +258,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
       let pid = Pid.fresh t.pid_gen in
       Membership.add t.membership pid ~now:Time.zero;
       let node =
-        P.create ~sched ~net ~params ~pid ~initial:(Some initial_value)
+        P.create ~rt ~params ~pid ~initial:(Some initial_value)
           ~on_active:(fun _ -> Membership.set_active t.membership pid ~now:Time.zero)
       in
       Pid.Table.replace t.nodes pid node;

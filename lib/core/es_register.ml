@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_runtime
 open Dds_spec
 
 type params = { n : int; quorum_override : int option; read_repair : bool }
@@ -35,6 +36,39 @@ let msg_kind = function
   | Ack _ -> "ACK"
   | Dl_prev _ -> "DL_PREV"
 
+let put_msg b = function
+  | Inquiry { r_sn } ->
+    Wire.put_u8 b 0;
+    Wire.put_int b r_sn
+  | Read_req { r_sn } ->
+    Wire.put_u8 b 1;
+    Wire.put_int b r_sn
+  | Reply { value; r_sn } ->
+    Wire.put_u8 b 2;
+    Value.put b value;
+    Wire.put_int b r_sn
+  | Write_msg { value } ->
+    Wire.put_u8 b 3;
+    Value.put b value
+  | Ack { sn } ->
+    Wire.put_u8 b 4;
+    Wire.put_int b sn
+  | Dl_prev { r_sn } ->
+    Wire.put_u8 b 5;
+    Wire.put_int b r_sn
+
+let get_msg r =
+  match Wire.get_u8 r with
+  | 0 -> Inquiry { r_sn = Wire.get_int r }
+  | 1 -> Read_req { r_sn = Wire.get_int r }
+  | 2 ->
+    let value = Value.get r in
+    Reply { value; r_sn = Wire.get_int r }
+  | 3 -> Write_msg { value = Value.get r }
+  | 4 -> Ack { sn = Wire.get_int r }
+  | 5 -> Dl_prev { r_sn = Wire.get_int r }
+  | t -> raise (Wire.Malformed (Printf.sprintf "es message tag %d" t))
+
 type pending =
   | Idle
   | Joining of { k : Value.t -> unit }
@@ -47,8 +81,7 @@ type pending =
           read returns (regular-to-atomic transformation) *)
 
 type node = {
-  sched : Scheduler.t;
-  net : msg Network.t;
+  rt : msg Runtime.t;
   params : params;
   pid : Pid.t;
   mutable register : Value.t option;
@@ -76,13 +109,13 @@ let current_sn t = match t.register with Some v -> v.Value.sn | None -> -1
 let quorum t = majority t.params
 let current_span t = Op_span.current t.span
 
-let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
-let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
+let span_start ?value t op = Op_span.start ?value t.span ~rt:t.rt ~pid:t.pid op
+let span_phase t name = Op_span.phase t.span ~rt:t.rt ~pid:t.pid name
 let span_quorum ?from t ~have =
-  Op_span.quorum ?from t.span ~net:t.net ~sched:t.sched ~pid:t.pid ~have ~need:(quorum t)
-let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
+  Op_span.quorum ?from t.span ~rt:t.rt ~pid:t.pid ~have ~need:(quorum t)
+let span_finish ?value t = Op_span.finish ?value t.span ~rt:t.rt ~pid:t.pid
 
-let send t dst msg = Network.send t.net ~src:t.pid ~dst msg
+let send t dst msg = Runtime.send t.rt ~src:t.pid ~dst msg
 
 let add_once assoc entry =
   if List.exists (fun e -> e = entry) assoc then assoc else entry :: assoc
@@ -123,7 +156,7 @@ let start_write_collect t data k =
   t.write_ack <- Pid.Set.empty;
   t.pending <- Write_collect { value; k };
   span_phase t "write-broadcast";
-  Network.broadcast t.net ~src:t.pid (Write_msg { value })
+  Runtime.broadcast t.rt ~src:t.pid (Write_msg { value })
 
 let check_completion t =
   match t.pending with
@@ -147,7 +180,7 @@ let check_completion t =
         t.write_ack <- Pid.Set.empty;
         t.pending <- Repairing { value; k };
         span_phase t "repair-broadcast";
-        Network.broadcast t.net ~src:t.pid (Write_msg { value })
+        Runtime.broadcast t.rt ~src:t.pid (Write_msg { value })
       end
       else begin
         t.pending <- Idle;
@@ -232,11 +265,10 @@ let handle t ~src msg =
       end
       else t.dl_prev <- add_once t.dl_prev (src, r_sn)
 
-let create ~sched ~net ~params ~pid ~initial ~on_active =
+let create ~rt ~params ~pid ~initial ~on_active =
   let t =
     {
-      sched;
-      net;
+      rt;
       params;
       pid;
       register = initial;
@@ -253,7 +285,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
       span = Op_span.make ();
     }
   in
-  Network.attach net pid (fun ~src msg -> handle t ~src msg);
+  Runtime.attach rt pid (fun ~src msg -> handle t ~src msg);
   (match initial with
   | Some v ->
     t.active <- true;
@@ -263,7 +295,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
     t.pending <- Joining { k = on_active };
     span_start t Event.Join;
     span_phase t "inquiry-sent";
-    Network.broadcast t.net ~src:pid (Inquiry { r_sn = 0 }));
+    Runtime.broadcast rt ~src:pid (Inquiry { r_sn = 0 }));
   t
 
 (* Figure 5 lines 01-03 — shared by reads and by the write's embedded
@@ -274,7 +306,7 @@ let start_read_phase t pending =
   t.reading <- true;
   t.pending <- pending;
   span_phase t "read-req-sent";
-  Network.broadcast t.net ~src:t.pid (Read_req { r_sn = t.read_sn })
+  Runtime.broadcast t.rt ~src:t.pid (Read_req { r_sn = t.read_sn })
 
 let read t ~k =
   if not t.active then invalid_arg "Es_register.read: node is not active";
@@ -293,4 +325,4 @@ let write t data ~k =
 
 let leave t =
   t.left <- true;
-  Network.detach t.net t.pid
+  Runtime.detach t.rt t.pid

@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_runtime
 open Dds_spec
 
 type t = { mutable current : (int * Event.op_kind) option }
@@ -7,42 +8,39 @@ type t = { mutable current : (int * Event.op_kind) option }
 let make () = { current = None }
 let current t = t.current
 
-let sink_of net = Network.events net
-
 let payload_of (v : Value.t) = { Event.data = v.Value.data; sn = v.Value.sn }
 
 let payload_opt = Option.map payload_of
 
-let emit net sched ev =
-  match sink_of net with
-  | Some s -> Event.emit s ~at:(Scheduler.now sched) ev
+let emit rt ev =
+  match Runtime.events rt with
+  | Some s -> Event.emit s ~at:(Runtime.now rt) ev
   | None -> ()
 
-let start ?value t ~net ~sched ~pid op =
-  match sink_of net with
+let start ?value t ~rt ~pid op =
+  match Runtime.events rt with
   | Some s when Event.enabled s ->
     let span = Event.fresh_span s in
     t.current <- Some (span, op);
-    Event.emit s ~at:(Scheduler.now sched)
+    Event.emit s ~at:(Runtime.now rt)
       (Event.Op_start { span; node = Pid.to_int pid; op; value = payload_opt value })
   | Some _ | None -> ()
 
-let phase t ~net ~sched ~pid name =
+let phase t ~rt ~pid name =
   match t.current with
-  | Some (span, _) ->
-    emit net sched (Event.Op_phase { span; node = Pid.to_int pid; phase = name })
+  | Some (span, _) -> emit rt (Event.Op_phase { span; node = Pid.to_int pid; phase = name })
   | None -> ()
 
-let quorum ?(from = -1) t ~net ~sched ~pid ~have ~need =
+let quorum ?(from = -1) t ~rt ~pid ~have ~need =
   match t.current with
   | Some (span, _) ->
-    emit net sched (Event.Quorum_progress { span; node = Pid.to_int pid; have; need; from })
+    emit rt (Event.Quorum_progress { span; node = Pid.to_int pid; have; need; from })
   | None -> ()
 
-let finish ?(outcome = Event.Completed) ?value t ~net ~sched ~pid =
+let finish ?(outcome = Event.Completed) ?value t ~rt ~pid =
   match t.current with
   | Some (span, op) ->
     t.current <- None;
-    emit net sched
+    emit rt
       (Event.Op_end { span; node = Pid.to_int pid; op; outcome; value = payload_opt value })
   | None -> ()

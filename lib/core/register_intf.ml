@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_runtime
 open Dds_spec
 
 (** Signature every register protocol implements.
@@ -35,20 +36,32 @@ module type PROTOCOL = sig
       constant per constructor, used to label typed network telemetry
       and message-mix summaries. *)
 
+  val put_msg : Buffer.t -> msg -> unit
+  (** Binary codec for the Unix runtime's length-prefixed frames,
+      built from {!Dds_net.Wire} primitives. *)
+
+  val get_msg : Wire.reader -> msg
+  (** Inverse of {!put_msg}.
+      @raise Dds_net.Wire.Truncated if the payload ends mid-message.
+      @raise Dds_net.Wire.Malformed on an unknown constructor tag. *)
+
   val create :
-    sched:Scheduler.t ->
-    net:msg Network.t ->
+    rt:msg Runtime.t ->
     params:params ->
     pid:Pid.t ->
     initial:Value.t option ->
     on_active:(Value.t -> unit) ->
     node
-  (** Brings a process into the system: attaches it to the network (it
-      is in listening mode from this instant, per Section 2.1) and
-      either activates it immediately ([initial = Some v], founding
-      member) or runs the join protocol ([initial = None]).
-      [on_active] receives the local copy held when the join returned;
-      for founding members it fires synchronously. *)
+  (** Brings a process into the system: attaches it to the runtime's
+      transport (it is in listening mode from this instant, per
+      Section 2.1) and either activates it immediately
+      ([initial = Some v], founding member) or runs the join protocol
+      ([initial = None]). [on_active] receives the local copy held
+      when the join returned; for founding members it fires
+      synchronously. The runtime is the {e only} environment a node
+      touches — the same state machine runs over the simulator
+      ({!Dds_runtime.Runtime.of_sim}) and over TCP
+      ([Dds_runtime_unix.Node]). *)
 
   val pid : node -> Pid.t
 

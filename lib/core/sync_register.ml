@@ -1,5 +1,6 @@
 open Dds_sim
 open Dds_net
+open Dds_runtime
 open Dds_spec
 
 type empty_inquiry_behavior = Retry | Adopt_bottom
@@ -32,11 +33,26 @@ let pp_msg ppf = function
 
 let msg_kind = function Inquiry -> "INQUIRY" | Reply _ -> "REPLY" | Write_msg _ -> "WRITE"
 
+let put_msg b = function
+  | Inquiry -> Wire.put_u8 b 0
+  | Reply v ->
+    Wire.put_u8 b 1;
+    Value.put b v
+  | Write_msg v ->
+    Wire.put_u8 b 2;
+    Value.put b v
+
+let get_msg r =
+  match Wire.get_u8 r with
+  | 0 -> Inquiry
+  | 1 -> Reply (Value.get r)
+  | 2 -> Write_msg (Value.get r)
+  | t -> raise (Wire.Malformed (Printf.sprintf "sync message tag %d" t))
+
 type op = Idle | Writing of { k : Value.t -> unit }
 
 type node = {
-  sched : Scheduler.t;
-  net : msg Network.t;
+  rt : msg Runtime.t;
   params : params;
   pid : Pid.t;
   on_active : Value.t -> unit;
@@ -46,7 +62,7 @@ type node = {
   mutable active : bool;
   mutable left : bool;
   mutable op : op;
-  mutable timers : Scheduler.token list;
+  mutable timers : Runtime.timer list;
   mutable join_retries : int;
   span : Op_span.t;
 }
@@ -59,9 +75,9 @@ let join_retries t = t.join_retries
 let joins_in_flight_reply_queue t = t.reply_to
 let current_span t = Op_span.current t.span
 
-let span_start ?value t op = Op_span.start ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid op
-let span_phase t name = Op_span.phase t.span ~net:t.net ~sched:t.sched ~pid:t.pid name
-let span_finish ?value t = Op_span.finish ?value t.span ~net:t.net ~sched:t.sched ~pid:t.pid
+let span_start ?value t op = Op_span.start ?value t.span ~rt:t.rt ~pid:t.pid op
+let span_phase t name = Op_span.phase t.span ~rt:t.rt ~pid:t.pid name
+let span_finish ?value t = Op_span.finish ?value t.span ~rt:t.rt ~pid:t.pid
 
 let current_sn t =
   match t.register with
@@ -69,20 +85,14 @@ let current_sn t =
   | Some _ | None -> -1
 
 let set_timer t d f =
-  let tag =
-    if Scheduler.choosing t.sched then
-      Some
-        { Scheduler.actor = Pid.to_int t.pid; kind = Format.asprintf "timer:%a" Pid.pp t.pid }
-    else None
-  in
-  let tok = Scheduler.schedule_after t.sched ?tag d (fun () -> if not t.left then f ()) in
-  t.timers <- tok :: t.timers
+  let cancel = Runtime.after t.rt ~who:t.pid d (fun () -> if not t.left then f ()) in
+  t.timers <- cancel :: t.timers
 
 (* Lines 10-11: become active, then answer the postponed inquiries. *)
 let activate t =
   t.active <- true;
   let value = match t.register with Some v -> v | None -> assert false in
-  List.iter (fun j -> Network.send t.net ~src:t.pid ~dst:j (Reply value)) t.reply_to;
+  List.iter (fun j -> Runtime.send t.rt ~src:t.pid ~dst:j (Reply value)) t.reply_to;
   t.reply_to <- [];
   span_finish ~value t;
   t.on_active value
@@ -107,16 +117,14 @@ let rec finish_inquiry t () =
       activate t
     | Retry ->
       t.join_retries <- t.join_retries + 1;
-      (match Network.metrics t.net with
-      | Some m -> Metrics.incr m "sync.join.retry"
-      | None -> ());
+      Runtime.incr t.rt "sync.join.retry";
       start_inquiry t)
 
 (* Lines 04-06: broadcast INQUIRY and wait the 2*delta round trip. *)
 and start_inquiry t =
   t.replies <- [];
   span_phase t "inquiry-sent";
-  Network.broadcast t.net ~src:t.pid Inquiry;
+  Runtime.broadcast t.rt ~src:t.pid Inquiry;
   set_timer t (inquiry_round_trip t.params) (finish_inquiry t)
 
 (* Line 03: inquire only if no write reached us during the wait. *)
@@ -131,7 +139,7 @@ let handle t ~src msg =
       (* Lines 13-16. *)
       if t.active then begin
         let value = match t.register with Some v -> v | None -> assert false in
-        Network.send t.net ~src:t.pid ~dst:src (Reply value)
+        Runtime.send t.rt ~src:t.pid ~dst:src (Reply value)
       end
       else if not (List.exists (Pid.equal src) t.reply_to) then
         t.reply_to <- src :: t.reply_to
@@ -142,11 +150,10 @@ let handle t ~src msg =
       (* Figure 2, lines 03-04. *)
       if v.Value.sn > current_sn t then t.register <- Some v
 
-let create ~sched ~net ~params ~pid ~initial ~on_active =
+let create ~rt ~params ~pid ~initial ~on_active =
   let t =
     {
-      sched;
-      net;
+      rt;
       params;
       pid;
       on_active;
@@ -161,7 +168,7 @@ let create ~sched ~net ~params ~pid ~initial ~on_active =
       span = Op_span.make ();
     }
   in
-  Network.attach net pid (fun ~src msg -> handle t ~src msg);
+  Runtime.attach rt pid (fun ~src msg -> handle t ~src msg);
   (match initial with
   | Some _ ->
     (* Founding member: active from time 0 with the initial value. *)
@@ -191,7 +198,7 @@ let write t data ~k =
   t.register <- Some value;
   span_start ~value t Event.Write;
   span_phase t "write-broadcast";
-  Network.broadcast t.net ~src:t.pid (Write_msg value);
+  Runtime.broadcast t.rt ~src:t.pid (Write_msg value);
   t.op <- Writing { k };
   (* Figure 2, line 02: the writer returns after delta ticks, by which
      time every process present at the broadcast that stayed holds v. *)
@@ -202,6 +209,6 @@ let write t data ~k =
 
 let leave t =
   t.left <- true;
-  List.iter (Scheduler.cancel t.sched) t.timers;
+  List.iter (fun cancel -> cancel ()) t.timers;
   t.timers <- [];
-  Network.detach t.net t.pid
+  Runtime.detach t.rt t.pid

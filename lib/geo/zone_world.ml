@@ -73,7 +73,8 @@ let enter t slot ~founding =
   t.entries <- t.entries + 1;
   if founding then begin
     let node =
-      Sync_register.create ~sched:t.sched ~net:t.net ~params:(params t) ~pid
+      Sync_register.create ~rt:(Dds_runtime.Runtime.of_sim ~sched:t.sched ~net:t.net)
+        ~params:(params t) ~pid
         ~initial:(Some (Value.initial t.cfg.initial_value))
         ~on_active:(fun _ -> Membership.set_active t.membership pid ~now:(now t))
     in
@@ -83,7 +84,8 @@ let enter t slot ~founding =
     let op = History.begin_join t.history pid ~now:(now t) in
     slot.pending <- op :: slot.pending;
     let node =
-      Sync_register.create ~sched:t.sched ~net:t.net ~params:(params t) ~pid ~initial:None
+      Sync_register.create ~rt:(Dds_runtime.Runtime.of_sim ~sched:t.sched ~net:t.net)
+        ~params:(params t) ~pid ~initial:None
         ~on_active:(fun value ->
           if Membership.is_present t.membership pid then begin
             Membership.set_active t.membership pid ~now:(now t);

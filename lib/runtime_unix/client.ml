@@ -1,0 +1,57 @@
+open Dds_net
+open Dds_spec
+
+(** Blocking one-shot client for [dds client]: connect, send one
+    request frame, wait for the response. Scripting convenience — the
+    load generator has its own non-blocking connections. *)
+
+type t = { fd : Unix.file_descr; df : Wire.deframer; mutable next_req : int }
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  let t = { fd; df = Wire.deframer (); next_req = 0 } in
+  let b = Buffer.create 4 in
+  Buffer.add_string b (Wire.frame (Frame.buf_client_hello ()));
+  let s = Buffer.contents b in
+  ignore (Unix.write_substring t.fd s 0 (String.length s));
+  t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_frame t b =
+  let s = Wire.frame b in
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring t.fd s off (String.length s - off))
+  in
+  go 0
+
+let chunk = Bytes.create 65536
+
+let rec wait_frame t =
+  match Wire.next_frame t.df with
+  | Some payload -> payload
+  | None -> (
+    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> failwith "connection closed by node"
+    | n ->
+      Wire.feed t.df chunk n;
+      wait_frame t)
+
+let rec wait_resp t req =
+  match Frame.decode (wait_frame t) with
+  | Frame.Resp { req = r; value } when r = req -> Ok value
+  | Frame.Err { req = r; reason } when r = req -> Error reason
+  | _ -> wait_resp t req
+
+let request t op =
+  let req = t.next_req in
+  t.next_req <- req + 1;
+  (match op with
+  | `Read -> send_frame t (Frame.buf_read_req ~req)
+  | `Write data -> send_frame t (Frame.buf_write_req ~req ~data));
+  wait_resp t req
+
+let read t : (Value.t, string) result = request t `Read
+let write t data : (Value.t, string) result = request t (`Write data)

@@ -1,0 +1,90 @@
+open Dds_net
+open Dds_spec
+
+(** Node-level envelope inside each {!Wire} frame.
+
+    The protocol message codec ([put_msg]/[get_msg]) only knows how to
+    encode its own constructors; the envelope adds who is speaking and
+    why — a peer introducing itself, a stamped protocol message, or a
+    client request/response. Decoding is deferred for [Msg]: the
+    envelope hands back the raw remainder reader so the node can apply
+    its protocol's [get_msg] (the envelope layer stays
+    protocol-agnostic). *)
+
+type 'r t =
+  | Hello of { pid : int }  (** outgoing peer link introduces its sender *)
+  | Client_hello
+  | Msg of { src : int; lamport : int; rest : 'r }
+      (** a protocol message, Lamport-stamped at send time; [rest] is
+          the still-encoded payload (a {!Wire.reader} on decode) *)
+  | Read_req of { req : int }
+  | Write_req of { req : int; data : int }
+  | Resp of { req : int; value : Value.t }
+  | Err of { req : int; reason : string }
+
+let buf_hello pid =
+  let b = Buffer.create 16 in
+  Wire.put_u8 b 0;
+  Wire.put_int b pid;
+  b
+
+let buf_client_hello () =
+  let b = Buffer.create 4 in
+  Wire.put_u8 b 1;
+  b
+
+(* The caller appends the protocol payload with its own [put_msg]. *)
+let buf_msg_header ~src ~lamport =
+  let b = Buffer.create 64 in
+  Wire.put_u8 b 2;
+  Wire.put_int b src;
+  Wire.put_int b lamport;
+  b
+
+let buf_read_req ~req =
+  let b = Buffer.create 16 in
+  Wire.put_u8 b 3;
+  Wire.put_int b req;
+  b
+
+let buf_write_req ~req ~data =
+  let b = Buffer.create 24 in
+  Wire.put_u8 b 4;
+  Wire.put_int b req;
+  Wire.put_int b data;
+  b
+
+let buf_resp ~req value =
+  let b = Buffer.create 32 in
+  Wire.put_u8 b 5;
+  Wire.put_int b req;
+  Value.put b value;
+  b
+
+let buf_err ~req reason =
+  let b = Buffer.create 32 in
+  Wire.put_u8 b 6;
+  Wire.put_int b req;
+  Wire.put_string b reason;
+  b
+
+let decode payload =
+  let r = Wire.reader payload in
+  match Wire.get_u8 r with
+  | 0 -> Hello { pid = Wire.get_int r }
+  | 1 -> Client_hello
+  | 2 ->
+    let src = Wire.get_int r in
+    let lamport = Wire.get_int r in
+    Msg { src; lamport; rest = r }
+  | 3 -> Read_req { req = Wire.get_int r }
+  | 4 ->
+    let req = Wire.get_int r in
+    Write_req { req; data = Wire.get_int r }
+  | 5 ->
+    let req = Wire.get_int r in
+    Resp { req; value = Value.get r }
+  | 6 ->
+    let req = Wire.get_int r in
+    Err { req; reason = Wire.get_string r }
+  | t -> raise (Wire.Malformed (Printf.sprintf "envelope tag %d" t))

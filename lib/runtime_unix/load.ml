@@ -1,0 +1,196 @@
+open Dds_sim
+
+(** Closed-loop load generator for [dds load].
+
+    [clients] concurrent connections are spread round-robin over the
+    node addresses; each issues one operation, waits for its response,
+    and immediately issues the next, for [duration] seconds. Writes
+    respect the single-writer regime the protocols' correctness
+    arguments assume: every write goes to node 0 (which serializes
+    concurrent client writes through its operation queue), reads go to
+    the connection's assigned node. Latencies land in microsecond
+    histograms and flow out through the same {!Dds_sim.Histogram} /
+    {!Dds_sim.Metrics} pipeline the simulator's latency tables use. *)
+
+type report = {
+  ops : int;
+  reads : int;
+  writes : int;
+  errors : int;
+  elapsed_s : float;
+  read_lat_us : Histogram.t;
+  write_lat_us : Histogram.t;
+}
+
+let ops_per_s r = if r.elapsed_s > 0. then float_of_int r.ops /. r.elapsed_s else 0.
+
+(* 50 us .. ~1.6 s in x2 buckets — loopback round trips sit low in
+   this range, a congested mesh stretches to the top. *)
+let lat_edges = Array.init 15 (fun i -> 50. *. (2. ** float_of_int i))
+
+type conn_state = {
+  conn : Conn.t;
+  node : int;  (** the node this connection reads from *)
+  mutable req : int;
+  mutable issued_at : float;  (** ms, of the op in flight *)
+  mutable writing : bool;  (** the op in flight is a write *)
+}
+
+type t = {
+  loop : Loop.t;
+  addrs : (string * int) array;
+  write_ratio : float;
+  deadline_ms : float;
+  rng : Rng.t;
+  mutable live : int;  (** connections still draining *)
+  mutable ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable errors : int;
+  mutable next_datum : int;
+  read_lat : Histogram.t;
+  write_lat : Histogram.t;
+}
+
+let issue t st =
+  if Loop.now_ms () >= t.deadline_ms then begin
+    t.live <- t.live - 1;
+    Conn.close st.conn;
+    if t.live = 0 then Loop.stop t.loop
+  end
+  else begin
+    st.req <- st.req + 1;
+    st.issued_at <- Loop.now_ms ();
+    let write = Rng.float t.rng 1.0 < t.write_ratio in
+    st.writing <- write;
+    if write then begin
+      t.next_datum <- t.next_datum + 1;
+      (* Single-writer regime: all writes funnel through node 0. This
+         connection may be assigned elsewhere for reads, so writes ride
+         a dedicated frame to node 0's address via the same socket only
+         when assigned there — otherwise fall back to a read. *)
+      if st.node = 0 then Conn.write_frame st.conn (Frame.buf_write_req ~req:st.req ~data:t.next_datum)
+      else begin
+        st.writing <- false;
+        Conn.write_frame st.conn (Frame.buf_read_req ~req:st.req)
+      end
+    end
+    else Conn.write_frame st.conn (Frame.buf_read_req ~req:st.req)
+  end
+
+let on_frame t st payload =
+  match Frame.decode payload with
+  | Frame.Resp { req; value = _ } when req = st.req ->
+    let lat_us = (Loop.now_ms () -. st.issued_at) *. 1000. in
+    t.ops <- t.ops + 1;
+    if st.writing then begin
+      t.writes <- t.writes + 1;
+      Histogram.add t.write_lat lat_us
+    end
+    else begin
+      t.reads <- t.reads + 1;
+      Histogram.add t.read_lat lat_us
+    end;
+    issue t st
+  | Frame.Err { req; reason = _ } when req = st.req ->
+    t.errors <- t.errors + 1;
+    issue t st
+  | _ -> ()
+
+let connect_one t i =
+  (* Writes only happen on node 0, so bias connection assignment: the
+     requested write_ratio share of connections sit on node 0, the
+     rest round-robin over the whole mesh for reads. *)
+  let n = Array.length t.addrs in
+  let node =
+    if t.write_ratio > 0. && i mod (Stdlib.max 1 (int_of_float (1. /. t.write_ratio))) = 0
+    then 0
+    else i mod n
+  in
+  let host, port = t.addrs.(node) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+  | exception Unix.Unix_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    None
+  | () ->
+    let st_ref = ref None in
+    let conn =
+      Conn.create ~loop:t.loop ~fd
+        ~on_frame:(fun _ payload ->
+          match !st_ref with Some st -> on_frame t st payload | None -> ())
+        ~on_close:(fun _ ->
+          match !st_ref with
+          | Some st when st.issued_at >= 0. ->
+            (* Node died mid-op; count the connection out. *)
+            t.live <- t.live - 1;
+            if t.live = 0 then Loop.stop t.loop
+          | _ -> ())
+    in
+    let st = { conn; node; req = -1; issued_at = -1.; writing = false } in
+    st_ref := Some st;
+    Conn.write_frame conn (Frame.buf_client_hello ());
+    Some st
+
+let run ~addrs ~clients ~duration_s ~write_ratio ~seed =
+  let loop = Loop.create () in
+  let started = Loop.now_ms () in
+  let t =
+    {
+      loop;
+      addrs;
+      write_ratio;
+      deadline_ms = started +. (duration_s *. 1000.);
+      rng = Rng.create ~seed;
+      live = 0;
+      ops = 0;
+      reads = 0;
+      writes = 0;
+      errors = 0;
+      next_datum = 1_000_000;  (* distinct from anything dds client writes by hand *)
+      read_lat = Histogram.create ~edges:lat_edges;
+      write_lat = Histogram.create ~edges:lat_edges;
+    }
+  in
+  let states = List.filter_map (connect_one t) (List.init clients (fun i -> i)) in
+  t.live <- List.length states;
+  if t.live = 0 then failwith "load: no connection could be established";
+  List.iter (fun st -> issue t st) states;
+  Loop.run loop;
+  {
+    ops = t.ops;
+    reads = t.reads;
+    writes = t.writes;
+    errors = t.errors;
+    elapsed_s = (Loop.now_ms () -. started) /. 1000.;
+    read_lat_us = t.read_lat;
+    write_lat_us = t.write_lat;
+  }
+
+let metrics_of_report r =
+  let m = Metrics.create () in
+  let fill name src =
+    (* Rebuild the latencies inside a Metrics.t histogram so the
+       snapshot path (Export.metrics_to_json) renders them like every
+       simulator latency; bucket midpoints stand in for the raw
+       samples, which percentile extraction cannot tell apart. *)
+    let dst = Metrics.histogram m name ~edges:lat_edges in
+    Array.iteri
+      (fun i count ->
+        let v =
+          if i = 0 then lat_edges.(0) /. 2.
+          else lat_edges.(Stdlib.min (i - 1) (Array.length lat_edges - 1))
+        in
+        for _ = 1 to count do
+          Histogram.add dst v
+        done)
+      (Histogram.counts src)
+  in
+  fill "latency.read_us" r.read_lat_us;
+  fill "latency.write_us" r.write_lat_us;
+  Metrics.add m "load.ops" r.ops;
+  Metrics.add m "load.reads" r.reads;
+  Metrics.add m "load.writes" r.writes;
+  Metrics.add m "load.errors" r.errors;
+  Metrics.set_gauge m "load.ops_per_s" (ops_per_s r);
+  m

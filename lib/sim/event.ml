@@ -90,12 +90,12 @@ type sink = {
 
 let dummy = { at = Time.zero; ev = Gst_reached }
 
-let create ?(capacity = 256) ~enabled () =
+let create ?(capacity = 256) ?(first_span = 0) ~enabled () =
   {
     enabled;
     buf = (if enabled then Array.make (Stdlib.max capacity 1) dummy else [||]);
     size = 0;
-    next_span = 0;
+    next_span = first_span;
     observer = None;
   }
 

@@ -116,8 +116,11 @@ val pp : Format.formatter -> t -> unit
 
 type sink
 
-val create : ?capacity:int -> enabled:bool -> unit -> sink
-(** [capacity] is an initial-buffer hint. *)
+val create : ?capacity:int -> ?first_span:int -> enabled:bool -> unit -> sink
+(** [capacity] is an initial-buffer hint. [first_span] (default 0)
+    offsets the {!fresh_span} counter — a live deployment gives each
+    node's sink a disjoint base so span ids stay unique when per-node
+    wire traces are merged for a single audit. *)
 
 val enabled : sink -> bool
 (** Callers building event payloads should test this first so a

@@ -14,6 +14,15 @@ let newest = function
   | [] -> None
   | first :: rest -> Some (List.fold_left newer first rest)
 
+let put b v =
+  Dds_net.Wire.put_int b v.data;
+  Dds_net.Wire.put_int b v.sn
+
+let get r =
+  let data = Dds_net.Wire.get_int r in
+  let sn = Dds_net.Wire.get_int r in
+  { data; sn }
+
 let equal a b = a.data = b.data && a.sn = b.sn
 let same_data a b = a.data = b.data
 let compare_sn a b = Int.compare a.sn b.sn

@@ -36,6 +36,14 @@ val newer : t -> t -> t
 val newest : t list -> t option
 (** Highest-sequence-number element; [None] on the empty list. *)
 
+val put : Buffer.t -> t -> unit
+(** Wire codec: datum then sequence number, each a full-range
+    {!Dds_net.Wire.put_int} — so {!bottom}'s [min_int] sentinels
+    survive the round trip ([make] would reject them). *)
+
+val get : Dds_net.Wire.reader -> t
+(** @raise Dds_net.Wire.Truncated if the payload ends mid-value. *)
+
 val equal : t -> t -> bool
 
 val same_data : t -> t -> bool

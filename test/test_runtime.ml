@@ -1,0 +1,356 @@
+(* Tests for the Unix runtime backend: wire-codec round trips for
+   every protocol's messages, strict truncation behaviour, deframer
+   chunking, and a live 3-node ES deployment over loopback TCP whose
+   merged trace must audit to the same Regularity verdict as an
+   equivalent simulated run. *)
+
+open Dds_sim
+open Dds_net
+open Dds_spec
+open Dds_core
+open Dds_workload
+module Loop = Dds_runtime_unix.Loop
+module Frame = Dds_runtime_unix.Frame
+module Node = Dds_runtime_unix.Node
+module Client = Dds_runtime_unix.Client
+module Load = Dds_runtime_unix.Load
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.bottom);
+        (8, map2 (fun data sn -> { Value.data; sn }) int (map abs int));
+      ])
+
+let sync_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Sync_register.Inquiry;
+        map (fun v -> Sync_register.Reply v) value_gen;
+        map (fun v -> Sync_register.Write_msg v) value_gen;
+      ])
+
+let es_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r_sn -> Es_register.Inquiry { r_sn }) nat;
+        map (fun r_sn -> Es_register.Read_req { r_sn }) nat;
+        map2 (fun value r_sn -> Es_register.Reply { value; r_sn }) value_gen nat;
+        map (fun value -> Es_register.Write_msg { value }) value_gen;
+        map (fun sn -> Es_register.Ack { sn }) nat;
+        map (fun r_sn -> Es_register.Dl_prev { r_sn }) nat;
+      ])
+
+let abd_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r_sn -> Abd_register.Read_req { r_sn }) nat;
+        map2 (fun value r_sn -> Abd_register.Read_reply { value; r_sn }) value_gen nat;
+        map2 (fun value wid -> Abd_register.Write_req { value; wid }) value_gen nat;
+        map (fun wid -> Abd_register.Write_ack { wid }) nat;
+      ])
+
+let encode put msg =
+  let b = Buffer.create 64 in
+  put b msg;
+  Buffer.contents b
+
+let roundtrips (type m) (module P : Register_intf.PROTOCOL with type msg = m) eq pp gen =
+  QCheck.Test.make ~count:500
+    ~name:(Printf.sprintf "%s codec round-trips" P.name)
+    (QCheck.make ~print:(Format.asprintf "%a" pp) gen)
+    (fun msg ->
+      let s = encode P.put_msg msg in
+      let r = Wire.reader s in
+      let back = P.get_msg r in
+      Wire.expect_end r;
+      eq msg back)
+
+(* Every strict prefix of an encoding must raise Truncated — no prefix
+   of a valid message is itself a valid message. *)
+let rejects_truncation (type m) (module P : Register_intf.PROTOCOL with type msg = m) gen =
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "%s codec rejects truncation" P.name)
+    (QCheck.make gen)
+    (fun msg ->
+      let s = encode P.put_msg msg in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        let prefix = String.sub s 0 k in
+        (match P.get_msg (Wire.reader prefix) with
+        | _ -> ok := false
+        | exception Wire.Truncated -> ()
+        | exception Wire.Malformed _ -> ())
+      done;
+      !ok)
+
+let codec_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      roundtrips (module Sync_register) ( = ) Sync_register.pp_msg sync_msg_gen;
+      roundtrips (module Es_register) ( = ) Es_register.pp_msg es_msg_gen;
+      roundtrips (module Abd_register) ( = ) Abd_register.pp_msg abd_msg_gen;
+      rejects_truncation (module Sync_register) sync_msg_gen;
+      rejects_truncation (module Es_register) es_msg_gen;
+      rejects_truncation (module Abd_register) abd_msg_gen;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire primitives *)
+
+let test_int_extremes () =
+  List.iter
+    (fun v ->
+      let b = Buffer.create 8 in
+      Wire.put_int b v;
+      check_int "int round-trip" v (Wire.get_int (Wire.reader (Buffer.contents b))))
+    [ 0; 1; -1; max_int; min_int; 42; -9_999_999_999 ]
+
+let test_bottom_value_roundtrip () =
+  let b = Buffer.create 16 in
+  Value.put b Value.bottom;
+  let back = Value.get (Wire.reader (Buffer.contents b)) in
+  check_bool "bottom survives" true (Value.is_bottom back)
+
+let test_expect_end () =
+  let b = Buffer.create 8 in
+  Wire.put_int b 7;
+  Wire.put_u8 b 9;
+  let r = Wire.reader (Buffer.contents b) in
+  check_int "int" 7 (Wire.get_int r);
+  (match Wire.expect_end r with
+  | () -> Alcotest.fail "trailing byte not rejected"
+  | exception Wire.Malformed _ -> ());
+  check_int "trailing" 9 (Wire.get_u8 r);
+  Wire.expect_end r
+
+(* Frame several payloads, feed the concatenation to a deframer in
+   arbitrary chunk sizes: the same payloads must pop out, in order,
+   regardless of how the bytes were sliced. *)
+let deframer_chunking =
+  QCheck.Test.make ~count:300 ~name:"deframer reassembles across arbitrary chunking"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (list_size (int_range 0 8) (string_size ~gen:char (int_range 0 64)))
+            (list_size (int_range 1 40) (int_range 1 17))))
+    (fun (payloads, chunks) ->
+      let stream =
+        String.concat ""
+          (List.map
+             (fun p ->
+               let b = Buffer.create 64 in
+               Buffer.add_string b p;
+               Wire.frame b)
+             payloads)
+      in
+      let d = Wire.deframer () in
+      let out = ref [] in
+      let pos = ref 0 in
+      let sizes = ref chunks in
+      while !pos < String.length stream do
+        let size =
+          match !sizes with
+          | s :: rest ->
+            sizes := rest @ [ s ];
+            s
+          | [] -> 1
+        in
+        let len = Stdlib.min size (String.length stream - !pos) in
+        Wire.feed d (Bytes.of_string (String.sub stream !pos len)) len;
+        pos := !pos + len;
+        let continue = ref true in
+        while !continue do
+          match Wire.next_frame d with
+          | Some p -> out := p :: !out
+          | None -> continue := false
+        done
+      done;
+      Wire.pending_bytes d = 0 && List.rev !out = payloads)
+
+let test_oversized_frame_rejected () =
+  let d = Wire.deframer () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (Wire.max_frame + 1));
+  match Wire.feed d b 4 with
+  | () -> Alcotest.fail "oversized length accepted"
+  | exception Wire.Malformed _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Live loopback deployment *)
+
+module N_es = Node.Make (Es_register)
+
+let bind_ephemeral () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  (fd, port)
+
+(* The monitor configuration `dds audit --proto es` would build: the
+   ES churn bound and standing-majority assumption, liveness at the
+   default k = 10. delta is in the trace's tick unit — simulator ticks
+   for a simulated trace, milliseconds for a wire trace. *)
+let es_monitor_config ~n ~delta =
+  let base = Dds_monitor.Monitor.default ~n ~delta in
+  {
+    base with
+    Dds_monitor.Monitor.liveness_bound = Some (10 * delta);
+    churn_bound = Some (1.0 /. (3.0 *. float_of_int delta *. float_of_int n));
+    majority = true;
+  }
+
+let audit_verdict ~n ~delta evs =
+  let m = Dds_monitor.Monitor.create (es_monitor_config ~n ~delta) in
+  List.iter (fun st -> ignore (Dds_monitor.Monitor.feed m st)) evs;
+  let last_at =
+    List.fold_left (fun acc ({ at; _ } : Event.stamped) -> Time.max acc at) Time.zero evs
+  in
+  ignore (Dds_monitor.Monitor.finalize m ~at:last_at);
+  let report = Replay.history_of_events ~initial:(Value.initial 0) evs |> Regularity.check in
+  (Dds_monitor.Monitor.violations m = [], Regularity.is_ok report)
+
+let read_trace path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Export.events_of_jsonl_lenient text with
+  | Ok (evs, _) -> evs
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let test_loopback_deployment () =
+  let n = 3 in
+  let socks = Array.init n (fun _ -> bind_ephemeral ()) in
+  let addrs = Array.map (fun (_, port) -> ("127.0.0.1", port)) socks in
+  let traces =
+    Array.init n (fun i -> Filename.temp_file (Printf.sprintf "dds-node%d-" i) ".jsonl")
+  in
+  let epoch_ms = Node.default_epoch_ms () in
+  let children =
+    Array.init n (fun i ->
+        let ctl_r, ctl_w = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          (* Child: run node i until the parent writes to the control
+             pipe, then shut down cleanly (flushing the trace). *)
+          Unix.close ctl_w;
+          (try
+             let loop = Loop.create () in
+             let cfg =
+               {
+                 (Node.default_config ~self:i ~addrs) with
+                 Node.epoch_ms;
+                 trace_path = Some traces.(i);
+                 listen_fd = Some (fst socks.(i));
+               }
+             in
+             let node = N_es.create ~loop cfg (Es_register.default_params ~n) in
+             Loop.watch_read loop ctl_r (fun () ->
+                 N_es.shutdown node;
+                 Loop.stop loop);
+             Loop.run loop
+           with _ -> ());
+          Unix._exit 0
+        | pid ->
+          Unix.close ctl_r;
+          (pid, ctl_w))
+  in
+  Array.iter (fun (fd, _) -> Unix.close fd) socks;
+  (* Scripted ops through the blocking client: two writes on node 0,
+     then reads through two different nodes must observe the last
+     write (no concurrent writer => regularity pins the value). *)
+  let c0 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(0)) in
+  (match Client.write c0 11 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "write 11: %s" e);
+  (match Client.write c0 22 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "write 22: %s" e);
+  (match Client.read c0 with
+  | Ok v -> check_int "read-own-write via node 0" 22 v.Value.data
+  | Error e -> Alcotest.failf "read node 0: %s" e);
+  let c1 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(1)) in
+  (match Client.read c1 with
+  | Ok v -> check_int "read via node 1" 22 v.Value.data
+  | Error e -> Alcotest.failf "read node 1: %s" e);
+  Client.close c0;
+  Client.close c1;
+  (* A short burst of closed-loop load: every op must complete. *)
+  let report = Load.run ~addrs ~clients:6 ~duration_s:0.6 ~write_ratio:0.2 ~seed:7 in
+  check_bool "load did work" true (report.Load.ops > 50);
+  check_int "load errors" 0 report.Load.errors;
+  check_bool "load wrote" true (report.Load.writes > 0);
+  (* Tear the mesh down and collect the traces. *)
+  Array.iter (fun (_, ctl_w) -> ignore (Unix.write ctl_w (Bytes.make 1 'q') 0 1)) children;
+  Array.iter
+    (fun (pid, ctl_w) ->
+      ignore (Unix.waitpid [] pid);
+      Unix.close ctl_w)
+    children;
+  let merged =
+    Array.to_list traces
+    |> List.concat_map read_trace
+    |> List.stable_sort (fun (a : Event.stamped) b -> Time.compare a.at b.at)
+  in
+  Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) traces;
+  check_bool "merged trace non-trivial" true (List.length merged > 100);
+  (* The wire trace must audit exactly like a simulated deployment:
+     clean monitors, REGULAR verdict. delta = 30 ms on the wire (1
+     tick = 1 ms), delta = 3 ticks in the simulator. *)
+  let wire_monitors_ok, wire_regular = audit_verdict ~n ~delta:30 merged in
+  let module Es_d = Deployment.Make (Es_register) in
+  let sim_cfg =
+    {
+      (Deployment.default_config ~seed:5 ~n ~delay:(Delay.synchronous ~delta:3)
+         ~churn_rate:0.0)
+      with
+      Deployment.events_enabled = true;
+    }
+  in
+  let d = Es_d.create sim_cfg (Es_register.default_params ~n) in
+  let module G = Generator.Make (Es_d) in
+  G.run d
+    {
+      Generator.read_rate = 0.5;
+      write_every = 15;
+      start = Time.of_int 1;
+      until = Time.of_int 300;
+    };
+  let sim_monitors_ok, sim_regular = audit_verdict ~n ~delta:3 (Event.events (Es_d.events d)) in
+  check_bool "sim monitors clean" true sim_monitors_ok;
+  check_bool "sim regular" true sim_regular;
+  check_bool "wire monitors verdict matches sim" sim_monitors_ok wire_monitors_ok;
+  check_bool "wire regularity verdict matches sim" sim_regular wire_regular
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("codec", codec_tests);
+      ( "wire",
+        [
+          Alcotest.test_case "int extremes round-trip" `Quick test_int_extremes;
+          Alcotest.test_case "bottom value round-trips" `Quick test_bottom_value_roundtrip;
+          Alcotest.test_case "expect_end rejects trailing bytes" `Quick test_expect_end;
+          QCheck_alcotest.to_alcotest deframer_chunking;
+          Alcotest.test_case "oversized frame rejected" `Quick test_oversized_frame_rejected;
+        ] );
+      ( "loopback",
+        [ Alcotest.test_case "3-node es over TCP audits REGULAR" `Quick test_loopback_deployment ] );
+    ]
