@@ -250,7 +250,44 @@ let run_tables ~pool () =
         s.Dds_profile.Profile.s_minor_words_per_job s.Dds_profile.Profile.s_dominant)
     profile_rows;
 
-  (List.rev !acc, scaling, profile_rows)
+  (* Engine scaling, amortized grain — the same matrix at --horizon
+     2000, big enough (~seconds sequential) that domain spawn and
+     shared-major-heap fixed costs stop dominating the measurement
+     (ROADMAP item 1: E24 at its table size sits below the parallelism
+     floor). *)
+  let big_horizon = scale 2000 in
+  let time_big jobs =
+    let t0 = Unix.gettimeofday () in
+    Dds_engine.Pool.with_pool ~jobs (fun pool ->
+        ignore (Sweep.nemesis_matrix ~pool ~n ~delta ~horizon:big_horizon ~seed:61 ()));
+    Unix.gettimeofday () -. t0
+  in
+  let big_case = Printf.sprintf "E24 nemesis matrix, --horizon %d" big_horizon in
+  let runs_big = List.map (fun j -> (j, time_big j)) [ 1; 2; 4 ] in
+  let base_big = List.assoc 1 runs_big in
+  let scaling_big =
+    List.map
+      (fun (j, w) ->
+        { Tables.sc_jobs = j; sc_wall_s = w; sc_speedup = (if w > 0. then base_big /. w else 0.) })
+      runs_big
+  in
+  show (Tables.engine_scaling ~case:big_case scaling_big);
+
+  (* E25 — sharded key-space scaling. *)
+  let shard_keys = 512 and shard_horizon = scale 600 in
+  let shard_rows =
+    Sweep.shard_scaling ~pool ~protocol:"sync" ~n:10 ~delta:3
+      ~shards:[ 1; 2; 4; 8 ]
+      ~skews:[ 0.0; 1.0 ]
+      ~churns:[ 0.0; 0.02 ]
+      ~keys:shard_keys ~read_rate:1.0 ~write_every:20 ~horizon:shard_horizon ~seed:67 ()
+  in
+  show (Tables.shard_scaling ~protocol:"sync" ~n:10 ~keys:shard_keys ~horizon:shard_horizon shard_rows);
+
+  ( List.rev !acc,
+    [ ("E24 nemesis matrix", scaling); (big_case, scaling_big) ],
+    profile_rows,
+    shard_rows )
 
 (* ------------------------------------------------------------------ *)
 (* Explorer throughput *)
@@ -458,7 +495,7 @@ let run_runtime_loopback () =
   Array.iter (fun (fd, _) -> Unix.close fd) socks;
   let duration_s = if quick then 1.0 else 2.0 in
   let clients = 8 in
-  let r = Load.run ~addrs ~clients ~duration_s ~write_ratio:0.1 ~seed:17 in
+  let r = Load.run ~addrs ~clients ~duration_s ~write_ratio:0.1 ~route:Load.Fixed ~seed:17 in
   Array.iter (fun (_, ctl_w) -> ignore (Unix.write ctl_w (Bytes.make 1 'q') 0 1)) children;
   Array.iter
     (fun (pid, ctl_w) ->
@@ -812,7 +849,8 @@ let bench_estimates results =
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let write_results_json ~tables ~scaling ~profile_rows ~checker ~idle ~runtime ~estimates =
+let write_results_json ~tables ~scaling ~profile_rows ~shard_rows ~checker ~idle ~runtime
+    ~estimates =
   let module J = Dds_sim.Json in
   let json =
     J.Obj
@@ -825,15 +863,38 @@ let write_results_json ~tables ~scaling ~profile_rows ~checker ~idle ~runtime ~e
         );
         ( "engine_scaling",
           J.List
+            (List.concat_map
+               (fun (case, rows) ->
+                 List.map
+                   (fun r ->
+                     J.Obj
+                       [
+                         ("case", J.String case);
+                         ("jobs", J.Int r.Tables.sc_jobs);
+                         ("wall_s", J.Float r.Tables.sc_wall_s);
+                         ("speedup", J.Float r.Tables.sc_speedup);
+                       ])
+                   rows)
+               scaling) );
+        ( "shard_scaling",
+          J.List
             (List.map
-               (fun r ->
+               (fun (r : Sweep.shard_row) ->
                  J.Obj
                    [
-                     ("jobs", J.Int r.Tables.sc_jobs);
-                     ("wall_s", J.Float r.Tables.sc_wall_s);
-                     ("speedup", J.Float r.Tables.sc_speedup);
+                     ("shards", J.Int r.Sweep.sh_shards);
+                     ("skew", J.Float r.Sweep.sh_skew);
+                     ("churn", J.Float r.Sweep.sh_churn);
+                     ("scheduled", J.Int r.Sweep.sh_scheduled);
+                     ("issued", J.Int r.Sweep.sh_issued);
+                     ("completed", J.Int r.Sweep.sh_completed);
+                     ("ops_per_tick", J.Float r.Sweep.sh_throughput);
+                     ("read_p99_ticks", J.Float (Stats.percentile r.Sweep.sh_read_stats 99.0));
+                     ("write_p99_ticks", J.Float (Stats.percentile r.Sweep.sh_write_stats 99.0));
+                     ("hot_shard_frac", J.Float r.Sweep.sh_hot_frac);
+                     ("regular", J.Bool r.Sweep.sh_regular);
                    ])
-               scaling) );
+               shard_rows) );
         ( "engine_profile",
           J.List
             (List.map
@@ -1000,11 +1061,11 @@ let () =
      OCaml 5 forbids Unix.fork once other domains exist, and both the
      engine pools and bechamel's measurement loop create them. *)
   let runtime = if not bench_only then Some (run_runtime_loopback ()) else None in
-  let tables, scaling, profile_rows =
+  let tables, scaling, profile_rows, shard_rows =
     if not bench_only then
       let jobs = if jobs <= 0 then Dds_engine.Pool.default_jobs () else jobs in
       Dds_engine.Pool.with_pool ~jobs (fun pool -> run_tables ~pool ())
-    else ([], [], [])
+    else ([], [], [], [])
   in
   let checker = if not bench_only then run_checker_rows () else [] in
   let idle = Some (run_idle_probe ()) in
@@ -1020,7 +1081,7 @@ let () =
      BENCH_results.json` (the committed file this run overwrites) must
      compare against the old numbers, not the ones just written. *)
   let baseline_contents = Option.map (fun path -> (path, read_baseline path)) baseline in
-  write_results_json ~tables ~scaling ~profile_rows ~checker ~idle ~runtime ~estimates;
+  write_results_json ~tables ~scaling ~profile_rows ~shard_rows ~checker ~idle ~runtime ~estimates;
   let ok =
     match baseline_contents with
     | None -> true

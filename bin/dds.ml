@@ -94,6 +94,9 @@ type common = {
   horizon : int;
   read_rate : float;
   write_every : int;
+  shards : int;  (** 0 = classic single-register run; >0 = sharded store *)
+  keys : int;  (** key-space size for the sharded workload *)
+  skew : float;  (** zipf exponent of the sharded workload *)
   gst : int option;  (** Some -> eventually synchronous delays *)
   wild : int;
   trace : bool;
@@ -125,6 +128,7 @@ let repro_line ~protocol c =
   addf " --horizon %d" c.horizon;
   if c.read_rate <> 1.0 then addf " --read-rate %g" c.read_rate;
   if c.write_every <> 20 then addf " --write-every %d" c.write_every;
+  if c.shards > 0 then addf " --shards %d --keys %d --skew %g" c.shards c.keys c.skew;
   (match c.gst with
   | Some g ->
     addf " --gst %d" g;
@@ -154,13 +158,19 @@ let build_config c =
     broadcast_mode = Network.Primitive;
     trace_enabled = c.trace;
     events_enabled = c.trace_out <> None || c.monitor || c.dot_out <> None;
+    events_first_span = 0;
   }
 
 (* The monitor configuration a protocol's correctness theorem calls
    for, read off the registry entry: its churn bound (sync: 1/(3 delta)
    via Theorem 1/Lemma 2; ES: 1/(3 delta n) via Theorem 4; ABD: none),
    whether it assumes a standing active majority, and whether liveness
-   clocks start at GST when the delay model has one. *)
+   clocks start at GST when the delay model has one. The inversion
+   monitor only applies to protocols that promise atomicity: a regular
+   register may legitimately exhibit a new/old inversion between
+   sequential reads concurrent with the same write (the paper's own
+   Section 1 diagram, `dds scenario inversion`), so it is not a
+   violation there — dense workloads hit it routinely. *)
 let monitor_config_for (p : Protocol.t) c =
   let base = Dds_monitor.Monitor.default ~n:c.n ~delta:c.delta in
   {
@@ -171,6 +181,7 @@ let monitor_config_for (p : Protocol.t) c =
     liveness_from_gst = p.Protocol.gst_liveness && c.gst <> None;
     churn_bound = p.Protocol.churn_bound ~n:c.n ~delta:c.delta;
     majority = p.Protocol.majority;
+    inversions = p.Protocol.atomic;
   }
 
 let write_file path contents =
@@ -287,11 +298,98 @@ let make_runner (type p) (module D : Deployment.S with type Protocol.params = p)
     `Error (false, "safety violated")
   end
 
-let run_protocol (p : Protocol.t) c =
+(* The sharded store path (--shards N): the same registry-generic run,
+   but through lib/shard — one skewed plan drawn up front, hash-routed
+   across N independent deployments, per-shard verdicts, one tagged
+   trace file. The classic path above is untouched when --shards is
+   absent. *)
+let run_sharded (p : Protocol.t) c =
+  let name = p.Protocol.name in
   let module R = (val p.Protocol.runner : Protocol.RUNNER) in
   match R.params { Protocol.n = c.n; delta = c.delta; quorum = None } with
   | Error e -> `Error (false, e)
-  | Ok params -> make_runner (module R.D) params ~proto:p c
+  | Ok params ->
+    if c.monitor || c.dot_out <> None || c.dump_history <> None || c.nemesis <> None then
+      Format.eprintf
+        "note: --monitor/--dot-out/--dump-history/--nemesis apply to single-register \
+         runs and are ignored with --shards@.";
+    let module Sh = Dds_shard.Shard.Make (R.D) in
+    let store =
+      Sh.create
+        { Dds_shard.Shard.shards = c.shards; keys = c.keys; base = build_config c }
+        params
+    in
+    (* The plan rng is dedicated (never shared with any shard's streams,
+       which derive from Shard.seed_for), so the identical plan
+       re-partitions across any --shards value. *)
+    let plan =
+      Skew.plan ~rng:(Rng.create ~seed:c.seed)
+        { (Skew.default ~keys:c.keys ~s:c.skew ~until:(time c.horizon)) with
+          Skew.read_rate = c.read_rate;
+          write_every = c.write_every }
+    in
+    Sh.start_churn store ~until:(time c.horizon);
+    Sh.load store plan;
+    Sh.run_until store (time (c.horizon + (20 * c.delta) + (4 * c.wild)));
+    Format.printf "protocol   : %s, sharded store: %d shard(s) x n=%d, %d keys, zipf s=%g@."
+      name c.shards c.n c.keys c.skew;
+    Format.printf "plan       : %d op(s) — %d issued, %d skipped (no idle process)@."
+      (Sh.scheduled store) (Sh.issued store) (Sh.skipped store);
+    let all_ok = ref true in
+    List.iter
+      (fun (r : Dds_shard.Shard.shard_report) ->
+        let h = R.D.history (Sh.deployment store r.Dds_shard.Shard.sr_shard) in
+        let reg = r.Dds_shard.Shard.sr_regularity in
+        let ok = Regularity.is_ok reg in
+        if not ok then all_ok := false;
+        Format.printf
+          "  shard %2d : %6d routed %6d issued %5d skipped | %5d reads %4d writes done | %s@."
+          r.Dds_shard.Shard.sr_shard r.Dds_shard.Shard.sr_scheduled
+          r.Dds_shard.Shard.sr_issued r.Dds_shard.Shard.sr_skipped
+          (List.length (History.completed_reads h))
+          (List.length (History.completed_writes h))
+          (if ok then "REGULAR" else "VIOLATED");
+        List.iter (fun v -> Format.printf "    %a@." Regularity.pp_violation v)
+          reg.Regularity.violations)
+      (Sh.reports store);
+    (match c.trace_out with
+    | Some path ->
+      let tagged = Sh.tagged_events store in
+      if c.trace_format = "chrome" then
+        Format.eprintf "note: sharded traces are always jsonl (shard-tagged lines)@.";
+      write_file path (Export.jsonl_of_tagged_events tagged);
+      Format.printf "trace written to %s (%d events, jsonl, shard-tagged)@." path
+        (List.length tagged)
+    | None -> ());
+    (match c.metrics_out with
+    | Some path ->
+      let per_shard =
+        List.init c.shards (fun s ->
+            Json.Obj
+              [
+                ("shard", Json.Int s);
+                ("metrics", Export.metrics_to_json (R.D.metrics_snapshot (Sh.deployment store s)));
+              ])
+      in
+      write_file path (Json.to_string (Json.List per_shard) ^ "\n");
+      Format.printf "metrics written to %s (one object per shard)@." path
+    | None -> ());
+    Format.printf "regularity : %s (%d shard(s))@."
+      (if !all_ok then "REGULAR" else "VIOLATED")
+      c.shards;
+    if !all_ok then `Ok ()
+    else begin
+      Format.printf "repro      : %s@." (repro_line ~protocol:name c);
+      `Error (false, "safety violated")
+    end
+
+let run_protocol (p : Protocol.t) c =
+  if c.shards > 0 then run_sharded p c
+  else
+    let module R = (val p.Protocol.runner : Protocol.RUNNER) in
+    match R.params { Protocol.n = c.n; delta = c.delta; quorum = None } with
+    | Error e -> `Error (false, e)
+    | Ok params -> make_runner (module R.D) params ~proto:p c
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner terms *)
@@ -332,6 +430,29 @@ let write_every_t =
   Arg.(
     value & opt int 20
     & info [ "write-every" ] ~docv:"TICKS" ~doc:"One write every this many ticks (0: never).")
+
+let shards_t =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard the key-space across N independent register instances (each a full \
+           n-node deployment with its own membership, churn and event stream) and drive \
+           them with a zipfian multi-key workload ($(b,--keys), $(b,--skew)). 0 (the \
+           default) is the classic single-register run.")
+
+let keys_t =
+  Arg.(
+    value & opt int 1024
+    & info [ "keys" ] ~docv:"K" ~doc:"Key-space size for the sharded workload.")
+
+let skew_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "skew" ] ~docv:"S"
+        ~doc:
+          "Zipf exponent of the sharded workload's key popularity: 0 is uniform, ~1 the \
+           classic web skew.")
 
 let gst_t =
   Arg.(
@@ -463,20 +584,22 @@ let profile_out_t =
            under a top-level $(b,summary) key. Implies $(b,--profile).")
 
 let common_t =
-  let make seed n delta churn policy horizon read_rate write_every gst wild trace
-      dump_history trace_out trace_format metrics_out monitor dot_out churn_window
-      liveness_k nemesis jobs minor_heap_words eprofile profile_out =
+  let make seed n delta churn policy horizon read_rate write_every shards keys skew gst
+      wild trace dump_history trace_out trace_format metrics_out monitor dot_out
+      churn_window liveness_k nemesis jobs minor_heap_words eprofile profile_out =
     {
-      seed; n; delta; churn; policy; horizon; read_rate; write_every; gst; wild; trace;
-      dump_history; trace_out; trace_format; metrics_out; monitor; dot_out; churn_window;
-      liveness_k; nemesis; jobs; minor_heap_words; eprofile; profile_out;
+      seed; n; delta; churn; policy; horizon; read_rate; write_every; shards; keys; skew;
+      gst; wild; trace; dump_history; trace_out; trace_format; metrics_out; monitor;
+      dot_out; churn_window; liveness_k; nemesis; jobs; minor_heap_words; eprofile;
+      profile_out;
     }
   in
   Term.(
     const make $ seed_t $ n_t $ delta_t $ churn_t $ policy_t $ horizon_t $ read_rate_t
-    $ write_every_t $ gst_t $ wild_t $ trace_t $ dump_history_t $ trace_out_t
-    $ trace_format_t $ metrics_out_t $ monitor_t $ dot_out_t $ churn_window_t
-    $ liveness_k_t $ nemesis_t $ jobs_t $ minor_heap_t $ eprofile_t $ profile_out_t)
+    $ write_every_t $ shards_t $ keys_t $ skew_t $ gst_t $ wild_t $ trace_t
+    $ dump_history_t $ trace_out_t $ trace_format_t $ metrics_out_t $ monitor_t
+    $ dot_out_t $ churn_window_t $ liveness_k_t $ nemesis_t $ jobs_t $ minor_heap_t
+    $ eprofile_t $ profile_out_t)
 
 (* One converter for every subcommand that takes a protocol: parses
    against the registry, so an unknown name is rejected at the CLI
@@ -804,6 +927,7 @@ let sweeps =
     ("calibration", "believed vs actual delta calibration");
     ("sessions", "session-model churn (exponential vs uniform lifetimes)");
     ("nemesis", "fault-plan matrix: each nemesis vs each protocol");
+    ("shard", "sharded key-space: throughput/latency vs shard count x churn x skew");
   ]
 
 (* DESIGN.md experiment numbers as sweep aliases: `dds sweep e24` (or
@@ -816,7 +940,7 @@ let sweep_aliases =
     ("e11", "msgs"); ("e12", "quorum"); ("e13", "threshold"); ("e14", "bursty");
     ("e15", "loss"); ("e16", "joinopt"); ("e17", "broadcast"); ("e18", "consensus");
     ("e19", "geo"); ("e21", "repair"); ("e22", "calibration"); ("e23", "sessions");
-    ("e24", "nemesis");
+    ("e24", "nemesis"); ("e25", "shard");
   ]
 
 let run_sweep_tables name c =
@@ -940,6 +1064,21 @@ let run_sweep_tables name c =
          (Sweep.join_wait_optimization ~pool ~n:c.n
             ~delta:(Stdlib.max c.delta 4)
             ~p2ps:[ 1; 2 ] ~horizon:c.horizon ~seed:c.seed ()));
+    `Ok ()
+  | "shard" ->
+    (* Smaller per-shard systems than the default n=20: a cell builds
+       shards x n processes, and the matrix is shards x skews x churns
+       cells. Override with --nodes as usual. *)
+    let n = if c.n = 20 then 10 else c.n in
+    let keys = c.keys in
+    Report.print
+      (Tables.shard_scaling ~protocol:"sync" ~n ~keys ~horizon:c.horizon
+         (Sweep.shard_scaling ~pool ~protocol:"sync" ~n ~delta:c.delta
+            ~shards:[ 1; 2; 4; 8 ]
+            ~skews:[ 0.0; 1.0 ]
+            ~churns:[ 0.0; 0.02 ]
+            ~keys ~read_rate:c.read_rate ~write_every:c.write_every ~horizon:c.horizon
+            ~seed:c.seed ()));
     `Ok ()
   | other ->
     `Error
@@ -1391,16 +1530,77 @@ let explain_cmd =
    the regularity checker, offline: everything the in-process checkers
    see is reconstructed from the trace alone (span payloads, Lamport
    stamps, membership events). Exits non-zero when anything fired. *)
+(* The per-shard audit of a tagged trace: each shard is an independent
+   register, so monitors and the regularity checker run once per tag —
+   auditing the mixed timeline as one register would interleave
+   different keys' writes and report nonsense. *)
+let audit_sharded (proto : Protocol.t) initial merged_out c path
+    (tagged : (int option * Event.stamped) list) =
+  let tags =
+    List.sort_uniq compare (List.map (fun (s, _) -> Option.value s ~default:(-1)) tagged)
+  in
+  Format.printf "%s: %d events audited across %d shard(s) (%s monitors, n=%d, delta=%d)@."
+    path (List.length tagged) (List.length tags) proto.Protocol.name c.n c.delta;
+  (match merged_out with
+  | Some out ->
+    write_file out (Export.jsonl_of_tagged_events tagged);
+    Format.printf "merged     : shard-tagged trace -> %s@." out
+  | None -> ());
+  let all_ok = ref true in
+  List.iter
+    (fun tag ->
+      let evs =
+        List.filter_map
+          (fun (s, ev) -> if Option.value s ~default:(-1) = tag then Some ev else None)
+          tagged
+      in
+      let cfg = monitor_config_for proto c in
+      let m = Dds_monitor.Monitor.create cfg in
+      List.iter (fun st -> ignore (Dds_monitor.Monitor.feed m st)) evs;
+      let last_at =
+        List.fold_left (fun acc ({ at; _ } : Event.stamped) -> Time.max acc at) Time.zero evs
+      in
+      ignore (Dds_monitor.Monitor.finalize m ~at:last_at);
+      let violations = Dds_monitor.Monitor.violations m in
+      let history = Replay.history_of_events ~initial:(Value.initial initial) evs in
+      let report = Regularity.check history in
+      let ok = violations = [] && Regularity.is_ok report in
+      if not ok then all_ok := false;
+      Format.printf "  shard %s : %s (%d events; %d reads, %d joins checked; %d monitor \
+                     violation(s))@."
+        (if tag < 0 then "?" else string_of_int tag)
+        (if Regularity.is_ok report then "REGULAR" else "VIOLATED")
+        (List.length evs) report.Regularity.checked_reads report.Regularity.checked_joins
+        (List.length violations);
+      List.iter
+        (fun v -> Format.printf "    %a@." Regularity.pp_violation v)
+        report.Regularity.violations;
+      List.iter
+        (fun v -> Format.printf "    %a@." Dds_monitor.Monitor.pp_violation v)
+        violations)
+    tags;
+  Format.printf "regularity : %s (%d shard(s))@."
+    (if !all_ok then "REGULAR" else "VIOLATED")
+    (List.length tags);
+  if !all_ok then `Ok () else `Error (false, "audit found violations")
+
 let run_audit paths (proto : Protocol.t) initial merged_out c =
+  (* A shard-tagged line carries its register's index; a plain trace
+     has no tags and parses to all-None. The strict tagged parse only
+     fails on malformed lines, where the lenient plain parse (built for
+     killed live nodes) takes over — live nodes never write tags. *)
   let parse path =
     match read_file path with
     | exception Sys_error e -> Error e
     | text -> (
-      match Export.events_of_jsonl_lenient text with
-      | Error e -> Error (Printf.sprintf "%s: %s" path e)
-      | Ok (evs, warnings) ->
-        List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
-        Ok evs)
+      match Export.tagged_events_of_jsonl text with
+      | Ok tagged -> Ok tagged
+      | Error _ -> (
+        match Export.events_of_jsonl_lenient text with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok (evs, warnings) ->
+          List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+          Ok (List.map (fun ev -> (None, ev)) evs)))
   in
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
@@ -1409,20 +1609,24 @@ let run_audit paths (proto : Protocol.t) initial merged_out c =
   in
   match collect [] paths with
   | Error e -> `Error (false, e)
-  | Ok per_file -> (
+  | Ok per_file ->
     (* A live deployment writes one trace per node; a stable merge on
        the shared timestamp reconstructs the single trace the simulator
        would have produced (span ids are globally unique already — each
        node offsets its own by pid * 1_000_000). *)
-    let evs =
+    let tagged_evs =
       match per_file with
       | [ evs ] -> evs
       | many ->
         List.stable_sort
-          (fun (a : Event.stamped) b -> Time.compare a.Event.at b.Event.at)
+          (fun ((_, a) : _ * Event.stamped) (_, b) -> Time.compare a.Event.at b.Event.at)
           (List.concat many)
     in
     let path = String.concat "+" paths in
+    if List.exists (fun (s, _) -> s <> None) tagged_evs then
+      audit_sharded proto initial merged_out c path tagged_evs
+    else (
+    let evs = List.map snd tagged_evs in
     (
       let cfg = monitor_config_for proto c in
       (* Run the monitors by hand (rather than Monitor.run) to keep
@@ -1762,12 +1966,12 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc) Term.(ret (const run_client $ addr_t $ op_t $ datum_t))
 
-let run_load peers clients duration write_ratio seed metrics_out =
+let run_load peers clients duration write_ratio route seed metrics_out =
   match parse_peers peers with
   | Error e -> `Error (false, e)
   | Ok addrs -> (
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    match Runix.Load.run ~addrs ~clients ~duration_s:duration ~write_ratio ~seed with
+    match Runix.Load.run ~addrs ~clients ~duration_s:duration ~write_ratio ~route ~seed with
     | exception Failure e -> `Error (false, e)
     | r ->
       let row label (h : Histogram.t) =
@@ -1783,9 +1987,11 @@ let run_load peers clients duration write_ratio seed metrics_out =
         (Report.make ~title:"load summary"
            ~headers:[ "op"; "n"; "p50 (us)"; "p99 (us)"; "max (us)" ]
            [ row "read" r.Runix.Load.read_lat_us; row "write" r.Runix.Load.write_lat_us ]);
-      Format.printf "throughput : %d op(s) in %.2f s = %.0f op/s (%d read / %d write)@."
+      Format.printf "throughput : %d op(s) in %.2f s = %.0f op/s (%d read / %d write, %s \
+                     routing)@."
         r.Runix.Load.ops r.Runix.Load.elapsed_s (Runix.Load.ops_per_s r)
-        r.Runix.Load.reads r.Runix.Load.writes;
+        r.Runix.Load.reads r.Runix.Load.writes
+        (Runix.Load.route_to_string route);
       Format.printf "errors     : %d@." r.Runix.Load.errors;
       (match metrics_out with
       | Some out ->
@@ -1798,10 +2004,12 @@ let run_load peers clients duration write_ratio seed metrics_out =
 
 let load_cmd =
   let doc =
-    "Closed-loop load generator against a live deployment: N concurrent client \
-     connections each issue read/write, wait, repeat, for the given duration. Writes \
-     all route to node 0 (single-writer regime); latency lands in the same histogram / \
-     metrics pipeline as the simulator's tables."
+    "Closed-loop load generator against a live deployment: N concurrent clients each \
+     issue read/write, wait, repeat, for the given duration. $(b,--route) picks where \
+     ops land: $(b,fixed) funnels writes to node 0 (single-writer regime), \
+     $(b,round-robin) walks the mesh per op, $(b,key-hash) places each op by the same \
+     SplitMix64 key hash the simulator's sharded store uses. Latency lands in the same \
+     histogram / metrics pipeline as the simulator's tables."
   in
   let clients_t =
     Arg.(
@@ -1816,6 +2024,24 @@ let load_cmd =
       value & opt float 0.1
       & info [ "write-ratio" ] ~docv:"R" ~doc:"Fraction of operations that write.")
   in
+  let route_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fixed", Runix.Load.Fixed);
+               ("round-robin", Runix.Load.Round_robin);
+               ("key-hash", Runix.Load.Key_hash);
+             ])
+          Runix.Load.Fixed
+      & info [ "route" ] ~docv:"POLICY"
+          ~doc:
+            "Operation routing: $(b,fixed) (writes to node 0, reads on the client's \
+             assigned node — the single-writer regime), $(b,round-robin) (op k to node \
+             k mod n), or $(b,key-hash) (each op draws a synthetic key; its node is the \
+             sharded store's placement hash).")
+  in
   let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Rng seed.") in
   let metrics_out_t =
     Arg.(
@@ -1827,8 +2053,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc)
     Term.(
       ret
-        (const run_load $ peers_t $ clients_t $ duration_t $ write_ratio_t $ seed_t
-       $ metrics_out_t))
+        (const run_load $ peers_t $ clients_t $ duration_t $ write_ratio_t $ route_t
+       $ seed_t $ metrics_out_t))
 
 (* hunt *)
 
@@ -1850,16 +2076,7 @@ let run_hunt (proto : Protocol.t) plans profile no_shrink c =
         drain = (20 * c.delta) + (4 * c.wild);
         read_rate = c.read_rate;
         write_every = c.write_every;
-        monitor =
-          (* As a hunt judge, the inversion monitor only applies to
-             protocols that promise atomicity: a regular register may
-             legitimately exhibit a new/old inversion (the paper's
-             Figure 4), so it is not a counterexample there. *)
-          Some
-            {
-              (monitor_config_for proto c) with
-              Dds_monitor.Monitor.inversions = proto.Protocol.atomic;
-            };
+        monitor = Some (monitor_config_for proto c);
       }
     in
     let runner ~seed plan = H.run { (build_config c) with Deployment.seed } params spec plan in

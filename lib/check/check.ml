@@ -135,6 +135,7 @@ let run_one (type p) (module D : Deployment.S with type Protocol.params = p) (pa
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
       events_enabled = false;
+      events_first_span = 0;
     }
   in
   let d = D.create dconfig params in

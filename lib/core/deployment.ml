@@ -16,6 +16,7 @@ type config = {
   broadcast_mode : Network.broadcast_mode;
   trace_enabled : bool;
   events_enabled : bool;
+  events_first_span : int;
 }
 
 let default_config ~seed ~n ~delay ~churn_rate =
@@ -31,6 +32,7 @@ let default_config ~seed ~n ~delay ~churn_rate =
     broadcast_mode = Network.Primitive;
     trace_enabled = false;
     events_enabled = false;
+    events_first_span = 0;
   }
 
 (* Power-of-two tick buckets for the operation-latency histograms:
@@ -210,7 +212,7 @@ module Make (P : Register_intf.PROTOCOL) = struct
     in
     let sched = Scheduler.create () in
     let metrics = Metrics.create () in
-    let events = Event.create ~enabled:cfg.events_enabled () in
+    let events = Event.create ~first_span:cfg.events_first_span ~enabled:cfg.events_enabled () in
     let trace = Trace.create ~enabled:cfg.trace_enabled () in
     let net =
       Network.create ~sched ~rng:net_rng ~delay:cfg.delay ~metrics ~trace ~events

@@ -36,6 +36,12 @@ type config = {
           message copy, membership change, and operation span. Off by
           default — a disabled sink records nothing and allocates no
           event detail. *)
+  events_first_span : int;
+      (** base of this deployment's span-id counter (default 0). A
+          multi-register store gives each shard's sink a disjoint base
+          (shard * 1_000_000, mirroring the live runtime's per-node
+          offsets) so span ids stay unique when per-shard traces are
+          merged into one file. *)
 }
 
 val default_config : seed:int -> n:int -> delay:Delay.t -> churn_rate:float -> config

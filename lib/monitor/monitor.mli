@@ -21,10 +21,12 @@ open Dds_sim
       deadline is flagged once.
     - {b inversion} — new/old inversions across read results: a read
       that returns a sequence number older than one returned by a read
-      completing strictly before its invocation. Regular registers
-      permit this only between {e concurrent} reads, so a
-      sequential-read inversion is a safety violation under the
-      single-writer regime.
+      completing strictly before its invocation. A regular register
+      {e permits} this when both reads are concurrent with the write
+      (the paper's Section 1 diagram); it is a counterexample only
+      against an atomicity promise, so callers enable it for atomic
+      protocols (the registry's [atomic] flag) and leave it off for
+      the regular-only ones.
 
     Monitors are streaming and incremental: {!feed} each event in
     order and collect the violations it triggers; nothing buffers the

@@ -2,15 +2,35 @@ open Dds_sim
 
 (** Closed-loop load generator for [dds load].
 
-    [clients] concurrent connections are spread round-robin over the
-    node addresses; each issues one operation, waits for its response,
-    and immediately issues the next, for [duration] seconds. Writes
-    respect the single-writer regime the protocols' correctness
-    arguments assume: every write goes to node 0 (which serializes
-    concurrent client writes through its operation queue), reads go to
-    the connection's assigned node. Latencies land in microsecond
-    histograms and flow out through the same {!Dds_sim.Histogram} /
-    {!Dds_sim.Metrics} pipeline the simulator's latency tables use. *)
+    [clients] concurrent clients each issue one operation, wait for its
+    response, and immediately issue the next, for [duration] seconds.
+    Where each operation lands is the routing policy:
+
+    - [Fixed] (the default, the historical behavior): each client sits
+      on one node; writes respect the single-writer regime the
+      protocols' correctness arguments assume, so only the clients
+      assigned to node 0 write (node 0 serializes concurrent client
+      writes through its operation queue) and everyone else reads from
+      their own node.
+    - [Round_robin]: each client holds one connection per node and
+      walks the mesh, op [k] to node [k mod n] — reads and writes
+      alike, a uniform spread that deliberately exercises the
+      multi-writer path.
+    - [Key_hash]: each op draws a synthetic key and lands on
+      [Shard.route ~shards:n ~key] — the exact placement function the
+      simulator's sharded store uses (lib/shard), so a live mesh and a
+      simulated one spread the same keys the same way.
+
+    Latencies land in microsecond histograms and flow out through the
+    same {!Dds_sim.Histogram} / {!Dds_sim.Metrics} pipeline the
+    simulator's latency tables use. *)
+
+type route = Fixed | Round_robin | Key_hash
+
+let route_to_string = function
+  | Fixed -> "fixed"
+  | Round_robin -> "round-robin"
+  | Key_hash -> "key-hash"
 
 type report = {
   ops : int;
@@ -28,21 +48,28 @@ let ops_per_s r = if r.elapsed_s > 0. then float_of_int r.ops /. r.elapsed_s els
    this range, a congested mesh stretches to the top. *)
 let lat_edges = Array.init 15 (fun i -> 50. *. (2. ** float_of_int i))
 
-type conn_state = {
-  conn : Conn.t;
-  node : int;  (** the node this connection reads from *)
+(* The synthetic key space for Key_hash. Only the spread matters (keys
+   never reach the wire — the hash picks the node), so any span well
+   above the mesh size does. *)
+let key_space = 4096
+
+type client = {
+  conns : Conn.t option array;  (** index = node; [Fixed] fills only [home] *)
+  home : int;  (** this client's node under [Fixed] *)
   mutable req : int;
   mutable issued_at : float;  (** ms, of the op in flight *)
   mutable writing : bool;  (** the op in flight is a write *)
+  mutable dead : bool;  (** counted out of [t.live] already *)
 }
 
 type t = {
   loop : Loop.t;
   addrs : (string * int) array;
   write_ratio : float;
+  route : route;
   deadline_ms : float;
   rng : Rng.t;
-  mutable live : int;  (** connections still draining *)
+  mutable live : int;  (** clients still draining *)
   mutable ops : int;
   mutable reads : int;
   mutable writes : int;
@@ -52,30 +79,56 @@ type t = {
   write_lat : Histogram.t;
 }
 
+let count_out t st =
+  if not st.dead then begin
+    st.dead <- true;
+    t.live <- t.live - 1;
+    if t.live = 0 then Loop.stop t.loop
+  end
+
 let issue t st =
   if Loop.now_ms () >= t.deadline_ms then begin
-    t.live <- t.live - 1;
-    Conn.close st.conn;
-    if t.live = 0 then Loop.stop t.loop
+    (* Mark dead before closing: each close fires on_close, which must
+       not count this client out a second time. *)
+    count_out t st;
+    Array.iter (function Some c -> Conn.close c | None -> ()) st.conns
   end
   else begin
     st.req <- st.req + 1;
     st.issued_at <- Loop.now_ms ();
-    let write = Rng.float t.rng 1.0 < t.write_ratio in
-    st.writing <- write;
-    if write then begin
-      t.next_datum <- t.next_datum + 1;
-      (* Single-writer regime: all writes funnel through node 0. This
-         connection may be assigned elsewhere for reads, so writes ride
-         a dedicated frame to node 0's address via the same socket only
-         when assigned there — otherwise fall back to a read. *)
-      if st.node = 0 then Conn.write_frame st.conn (Frame.buf_write_req ~req:st.req ~data:t.next_datum)
-      else begin
-        st.writing <- false;
-        Conn.write_frame st.conn (Frame.buf_read_req ~req:st.req)
+    let n = Array.length t.addrs in
+    let want_write = Rng.float t.rng 1.0 < t.write_ratio in
+    let target =
+      match t.route with
+      | Fixed -> st.home
+      | Round_robin -> st.req mod n
+      | Key_hash -> Dds_shard.Shard.route ~shards:n ~key:(Rng.int t.rng key_space)
+    in
+    (* Fixed keeps the single-writer funnel: only node-0 clients write,
+       everyone else falls back to a read (the historical behavior).
+       The other routes write wherever the op lands. *)
+    let write =
+      want_write && (match t.route with Fixed -> target = 0 | Round_robin | Key_hash -> true)
+    in
+    let conn =
+      match st.conns.(target) with
+      | Some _ as c -> c
+      | None ->
+        (* That node was unreachable at start (or died): any live
+           connection still measures a round trip. *)
+        Array.fold_left
+          (fun acc c -> match acc with Some _ -> acc | None -> c)
+          None st.conns
+    in
+    match conn with
+    | None -> count_out t st
+    | Some conn ->
+      st.writing <- write;
+      if write then begin
+        t.next_datum <- t.next_datum + 1;
+        Conn.write_frame conn (Frame.buf_write_req ~req:st.req ~data:t.next_datum)
       end
-    end
-    else Conn.write_frame st.conn (Frame.buf_read_req ~req:st.req)
+      else Conn.write_frame conn (Frame.buf_read_req ~req:st.req)
   end
 
 let on_frame t st payload =
@@ -97,42 +150,62 @@ let on_frame t st payload =
     issue t st
   | _ -> ()
 
-let connect_one t i =
-  (* Writes only happen on node 0, so bias connection assignment: the
-     requested write_ratio share of connections sit on node 0, the
-     rest round-robin over the whole mesh for reads. *)
-  let n = Array.length t.addrs in
-  let node =
-    if t.write_ratio > 0. && i mod (Stdlib.max 1 (int_of_float (1. /. t.write_ratio))) = 0
-    then 0
-    else i mod n
-  in
+let dial t node =
   let host, port = t.addrs.(node) in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
   | exception Unix.Unix_error _ ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     None
-  | () ->
-    let st_ref = ref None in
-    let conn =
-      Conn.create ~loop:t.loop ~fd
-        ~on_frame:(fun _ payload ->
-          match !st_ref with Some st -> on_frame t st payload | None -> ())
-        ~on_close:(fun _ ->
-          match !st_ref with
-          | Some st when st.issued_at >= 0. ->
-            (* Node died mid-op; count the connection out. *)
-            t.live <- t.live - 1;
-            if t.live = 0 then Loop.stop t.loop
-          | _ -> ())
-    in
-    let st = { conn; node; req = -1; issued_at = -1.; writing = false } in
-    st_ref := Some st;
-    Conn.write_frame conn (Frame.buf_client_hello ());
-    Some st
+  | () -> Some fd
 
-let run ~addrs ~clients ~duration_s ~write_ratio ~seed =
+let connect_client t i =
+  let n = Array.length t.addrs in
+  let home =
+    match t.route with
+    | Fixed ->
+      (* Writes only happen on node 0 under Fixed, so bias assignment:
+         the requested write_ratio share of clients sit on node 0, the
+         rest round-robin over the whole mesh for reads. *)
+      if t.write_ratio > 0. && i mod (Stdlib.max 1 (int_of_float (1. /. t.write_ratio))) = 0
+      then 0
+      else i mod n
+    | Round_robin | Key_hash -> i mod n
+  in
+  let st_ref = ref None in
+  let mk node =
+    match dial t node with
+    | None -> None
+    | Some fd ->
+      let conn =
+        Conn.create ~loop:t.loop ~fd
+          ~on_frame:(fun _ payload ->
+            match !st_ref with Some st -> on_frame t st payload | None -> ())
+          ~on_close:(fun _ ->
+            match !st_ref with
+            | Some st when st.issued_at >= 0. ->
+              (* Node died mid-op; count the client out. *)
+              count_out t st
+            | _ -> ())
+      in
+      Conn.write_frame conn (Frame.buf_client_hello ());
+      Some conn
+  in
+  let conns = Array.make n None in
+  (match t.route with
+  | Fixed -> conns.(home) <- mk home
+  | Round_robin | Key_hash ->
+    for node = 0 to n - 1 do
+      conns.(node) <- mk node
+    done);
+  if Array.for_all Option.is_none conns then None
+  else begin
+    let st = { conns; home; req = -1; issued_at = -1.; writing = false; dead = false } in
+    st_ref := Some st;
+    Some st
+  end
+
+let run ~addrs ~clients ~duration_s ~write_ratio ~route ~seed =
   let loop = Loop.create () in
   let started = Loop.now_ms () in
   let t =
@@ -140,6 +213,7 @@ let run ~addrs ~clients ~duration_s ~write_ratio ~seed =
       loop;
       addrs;
       write_ratio;
+      route;
       deadline_ms = started +. (duration_s *. 1000.);
       rng = Rng.create ~seed;
       live = 0;
@@ -152,7 +226,7 @@ let run ~addrs ~clients ~duration_s ~write_ratio ~seed =
       write_lat = Histogram.create ~edges:lat_edges;
     }
   in
-  let states = List.filter_map (connect_one t) (List.init clients (fun i -> i)) in
+  let states = List.filter_map (connect_client t) (List.init clients (fun i -> i)) in
   t.live <- List.length states;
   if t.live = 0 then failwith "load: no connection could be established";
   List.iter (fun st -> issue t st) states;

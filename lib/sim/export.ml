@@ -201,6 +201,44 @@ let events_of_jsonl text =
   in
   go 1 [] lines
 
+(* Shard-tagged JSONL: the same per-line encoding with one extra
+   ["shard"] field. [event_of_json] never looks at unknown fields, so
+   tagged traces stay readable by every untagged consumer; the tagged
+   reader below is what [dds audit] uses to split a merged multi-shard
+   trace back into independently checkable registers. *)
+let jsonl_of_tagged_events evs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (shard, e) ->
+      let j =
+        match (shard, event_to_json e) with
+        | Some s, Json.Obj fields -> Json.Obj (fields @ [ ("shard", Json.Int s) ])
+        | (None | Some _), j -> j
+      in
+      Json.to_buffer buf j;
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let tagged_events_of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc rest
+      else begin
+        match Json.parse line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok j -> (
+          match event_of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok ev ->
+            let shard = Option.bind (Json.member "shard" j) Json.to_int_opt in
+            go (lineno + 1) ((shard, ev) :: acc) rest)
+      end
+  in
+  go 1 [] lines
+
 (* Tolerant variant for killed runs: a malformed *final* line is the
    signature of a process that died mid-write, so it is skipped with a
    warning; a malformed line anywhere else still aborts the parse

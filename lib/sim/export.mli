@@ -28,6 +28,19 @@ val events_of_jsonl : string -> (Event.stamped list, string) result
 (** Inverse of {!jsonl_of_events}; blank lines are skipped. Fails on
     the first malformed line, naming its 1-based number. *)
 
+val jsonl_of_tagged_events : (int option * Event.stamped) list -> string
+(** Like {!jsonl_of_events} with an extra ["shard"] field on every
+    event carrying [Some shard] — how a sharded store exports the
+    merged trace of its independent registers into one file. Untagged
+    consumers ({!events_of_jsonl}, [dds inspect], [dds explain]) read
+    the same file and simply ignore the tag. *)
+
+val tagged_events_of_jsonl : string -> ((int option * Event.stamped) list, string) result
+(** Inverse of {!jsonl_of_tagged_events}: each event paired with its
+    shard tag ([None] on untagged lines, so plain traces parse too).
+    [dds audit] groups on the tag to check each shard's register
+    independently. *)
+
 val events_of_jsonl_lenient : string -> (Event.stamped list * string list, string) result
 (** Like {!events_of_jsonl} but tolerant of truncation: a malformed
     {e final} non-blank line — the signature of a run killed mid-write

@@ -62,6 +62,7 @@ let fig3 ~join_wait =
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
       events_enabled = false;
+      events_first_span = 0;
     }
   in
   let d =
@@ -129,6 +130,7 @@ let inversion () =
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
       events_enabled = false;
+      events_first_span = 0;
     }
   in
   let d = Sync_d.create cfg (Sync_register.default_params ~delta:5) in
@@ -190,6 +192,7 @@ let async_staleness ~horizon =
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
       events_enabled = false;
+      events_first_span = 0;
     }
   in
   let d = Sync_d.create cfg (Sync_register.default_params ~delta:5) in
@@ -268,6 +271,7 @@ let es_inversion ~read_repair () =
       broadcast_mode = Network.Primitive;
       trace_enabled = false;
       events_enabled = false;
+      events_first_span = 0;
     }
   in
   let d =

@@ -1,0 +1,98 @@
+open Dds_sim
+open Dds_shard
+
+type storm = { storm_start : Time.t; storm_until : Time.t; storm_bias : float }
+
+type config = {
+  keys : int;
+  s : float;
+  read_rate : float;
+  write_every : int;
+  start : Time.t;
+  until : Time.t;
+  storm : storm option;
+  rotate_every : int;
+}
+
+let default ~keys ~s ~until =
+  {
+    keys;
+    s;
+    read_rate = 1.0;
+    write_every = 20;
+    start = Time.of_int 1;
+    until;
+    storm = None;
+    rotate_every = 0;
+  }
+
+(* Zipfian sampling by inverse CDF over ranks: weight(r) = (r+1)^-s,
+   cumulated and normalized once per plan, then each draw is one
+   uniform float and a binary search. s = 0 degenerates to uniform. *)
+let zipf_cdf ~keys ~s =
+  let cdf = Array.make keys 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to keys - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+    cdf.(r) <- !total
+  done;
+  let norm = !total in
+  Array.map (fun c -> c /. norm) cdf
+
+let sample_rank rng cdf =
+  let u = Rng.float rng 1.0 in
+  (* First rank whose cumulative weight reaches u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let plan ~rng cfg =
+  if cfg.keys <= 0 then invalid_arg "Skew.plan: keys must be positive";
+  if cfg.s < 0.0 then invalid_arg "Skew.plan: negative zipf exponent";
+  let cdf = zipf_cdf ~keys:cfg.keys ~s:cfg.s in
+  (* Rank -> key through a seed-shuffled permutation plus a drifting
+     offset: rotation shifts which concrete keys are hot without
+     touching the popularity curve — key churn as the workload sees
+     it. The permutation draws from the same rng, so the whole plan
+     stays one deterministic stream. *)
+  let perm = Array.init cfg.keys (fun i -> i) in
+  Rng.shuffle_in_place rng perm;
+  let offset = ref 0 in
+  let key_of_rank r = perm.((r + !offset) mod cfg.keys) in
+  let in_storm at st = Time.(st.storm_start <= at) && Time.(at < st.storm_until) in
+  let draw_key at =
+    let stormed =
+      match cfg.storm with
+      | Some st when in_storm at st -> Rng.float rng 1.0 < st.storm_bias
+      | Some _ | None -> false
+    in
+    if stormed then key_of_rank 0 else key_of_rank (sample_rank rng cdf)
+  in
+  let next_value = ref 0 in
+  let acc = ref [] in
+  let emit at kind key = acc := { Shard.at; key; kind } :: !acc in
+  let start = Stdlib.max 1 (Time.to_int cfg.start) in
+  for tick = start to Time.to_int cfg.until do
+    let at = Time.of_int tick in
+    if cfg.rotate_every > 0 && tick mod cfg.rotate_every = 0 then
+      offset := (!offset + 1) mod cfg.keys;
+    if cfg.write_every > 0 && tick mod cfg.write_every = 0 then begin
+      incr next_value;
+      emit at (Shard.Write !next_value) (draw_key at)
+    end;
+    let base = int_of_float cfg.read_rate in
+    let frac = cfg.read_rate -. float_of_int base in
+    let reads = base + (if Rng.float rng 1.0 < frac then 1 else 0) in
+    for _ = 1 to reads do
+      emit at Shard.Read (draw_key at)
+    done
+  done;
+  List.rev !acc
+
+let key_histogram ops ~keys =
+  let h = Array.make keys 0 in
+  List.iter (fun (op : Shard.op) -> h.(op.Shard.key) <- h.(op.Shard.key) + 1) ops;
+  h

@@ -1,0 +1,49 @@
+open Dds_sim
+open Dds_shard
+
+(** Skewed mass-scale key workloads.
+
+    Where {!Generator} drives one register, [Skew.plan] draws a keyed
+    operation stream for a whole sharded store: zipfian key popularity
+    with configurable exponent, optional hot-key storms, and key churn
+    (the identity of the hot keys drifts over time). The plan is drawn
+    up front from one dedicated rng, so it is a pure function of
+    [(rng seed, config)] — routing it across any number of shards
+    re-partitions the same ops, which is what makes per-shard op
+    counts conserve and sweeps byte-identical at any worker count. *)
+
+type storm = {
+  storm_start : Time.t;
+  storm_until : Time.t;  (** window [storm_start, storm_until) *)
+  storm_bias : float;
+      (** probability an op inside the window is redirected to the
+          current hottest key, on top of its zipfian popularity *)
+}
+
+type config = {
+  keys : int;  (** key-space size *)
+  s : float;  (** zipf exponent: 0 = uniform, ~1 = classic zipf *)
+  read_rate : float;  (** expected reads per tick, whole store *)
+  write_every : int;  (** one write every this many ticks (0: never) *)
+  start : Time.t;
+  until : Time.t;
+  storm : storm option;
+  rotate_every : int;
+      (** key churn: every this many ticks the rank->key mapping
+          rotates one step, so popularity drifts across the key space
+          (0: the hot set is fixed for the whole run) *)
+}
+
+val default : keys:int -> s:float -> until:Time.t -> config
+(** [read_rate 1.0], one write every 20 ticks, no storm, no rotation,
+    starting at tick 1. *)
+
+val plan : rng:Rng.t -> config -> Shard.op list
+(** The operation stream, in time order (within a tick: the write
+    first, then the reads — same convention as {!Generator}). Write
+    values are globally unique (1, 2, 3, ... in plan order), so any
+    read's provenance is visible across the whole store. *)
+
+val key_histogram : Shard.op list -> keys:int -> int array
+(** Ops per key — how tests and tables measure the skew actually
+    drawn. *)

@@ -1278,3 +1278,87 @@ let nemesis_matrix ?pool ~n ~delta ~horizon ~seed () =
     ~key:(fun ((_, plan), protocol) ->
       Printf.sprintf "nemesis:%s:%s" protocol (Nemesis.to_string plan))
     cell cells
+
+(* ------------------------------------------------------------------ *)
+(* E25 *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_skew : float;
+  sh_churn : float;
+  sh_scheduled : int;
+  sh_issued : int;
+  sh_completed : int;
+  sh_throughput : float;
+  sh_read_stats : Stats.t;
+  sh_write_stats : Stats.t;
+  sh_hot_frac : float;
+  sh_regular : bool;
+}
+
+let shard_scaling ?pool ~protocol ~n ~delta ~shards ~skews ~churns ~keys ~read_rate
+    ~write_every ~horizon ~seed () =
+  let cells =
+    List.concat_map
+      (fun sh -> List.concat_map (fun sk -> List.map (fun c -> (sh, sk, c)) churns) skews)
+      shards
+  in
+  let cell (shard_count, skew, churn) =
+    let p = Protocol.find_exn protocol in
+    let module R = (val p.Protocol.runner : Protocol.RUNNER) in
+    let module Sh = Dds_shard.Shard.Make (R.D) in
+    let params =
+      match R.params { Protocol.n; delta; quorum = None } with
+      | Ok p -> p
+      | Error e -> invalid_arg ("Sweep.shard_scaling: " ^ e)
+    in
+    let base =
+      Deployment.default_config ~seed ~n ~delay:(Delay.synchronous ~delta) ~churn_rate:churn
+    in
+    let store = Sh.create { Dds_shard.Shard.shards = shard_count; keys; base } params in
+    (* One plan per (seed, skew): the identical op stream re-partitions
+       across every shard count, so rows down a shards column measure
+       routing and parallel registers, never a different workload. *)
+    let plan =
+      Skew.plan
+        ~rng:(Rng.create ~seed)
+        { (Skew.default ~keys ~s:skew ~until:(time horizon)) with
+          Skew.read_rate; write_every }
+    in
+    Sh.start_churn store ~until:(time horizon);
+    Sh.load store plan;
+    Sh.run_until store (time (horizon + (20 * delta)));
+    let reads = Stats.create () and writes = Stats.create () in
+    let completed = ref 0 in
+    for s = 0 to shard_count - 1 do
+      let h = R.D.history (Sh.deployment store s) in
+      let cr = History.completed_reads h and cw = History.completed_writes h in
+      completed := !completed + List.length cr + List.length cw;
+      List.iter
+        (fun o -> match latency_of o with Some l -> Stats.add_int reads l | None -> ())
+        cr;
+      List.iter
+        (fun o -> match latency_of o with Some l -> Stats.add_int writes l | None -> ())
+        cw
+    done;
+    let per_shard = List.map (fun r -> r.Dds_shard.Shard.sr_scheduled) (Sh.reports store) in
+    let total_sched = Sh.scheduled store in
+    {
+      sh_shards = shard_count;
+      sh_skew = skew;
+      sh_churn = churn;
+      sh_scheduled = total_sched;
+      sh_issued = Sh.issued store;
+      sh_completed = !completed;
+      sh_throughput = float_of_int !completed /. float_of_int horizon;
+      sh_read_stats = reads;
+      sh_write_stats = writes;
+      sh_hot_frac =
+        (if total_sched = 0 then 0.0
+         else float_of_int (List.fold_left Stdlib.max 0 per_shard) /. float_of_int total_sched);
+      sh_regular = Sh.regular store;
+    }
+  in
+  pmap ?pool
+    ~key:(fun (sh, sk, c) -> Printf.sprintf "shard:shards=%d:skew=%g:churn=%g" sh sk c)
+    cell cells

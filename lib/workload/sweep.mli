@@ -470,3 +470,43 @@ val nemesis_matrix :
     regularity checker. Within-model rows must come back unflagged;
     breaking rows demonstrate which assumption each protocol leans
     on. *)
+
+(** {1 E25 — sharded key-space scaling} *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_skew : float;  (** zipf exponent s *)
+  sh_churn : float;  (** per-shard churn rate *)
+  sh_scheduled : int;  (** plan ops routed (sum over shards) *)
+  sh_issued : int;  (** ops that found an idle process *)
+  sh_completed : int;  (** reads + writes that responded *)
+  sh_throughput : float;  (** completed ops per tick *)
+  sh_read_stats : Stats.t;  (** read latency, ticks *)
+  sh_write_stats : Stats.t;
+  sh_hot_frac : float;  (** hottest shard's share of the plan *)
+  sh_regular : bool;  (** every shard's register is regular *)
+}
+
+val shard_scaling :
+  ?pool:Dds_engine.Pool.t ->
+  protocol:string ->
+  n:int ->
+  delta:int ->
+  shards:int list ->
+  skews:float list ->
+  churns:float list ->
+  keys:int ->
+  read_rate:float ->
+  write_every:int ->
+  horizon:int ->
+  seed:int ->
+  unit ->
+  shard_row list
+(** The full (shards x skew x churn) matrix over the named registry
+    protocol: each cell draws one zipfian plan ({!Skew.plan}, the same
+    per seed+skew regardless of shard count), hash-routes it across
+    [shards] independent per-shard deployments of [n] processes each
+    ([Dds_shard.Shard]), runs them under per-shard churn, and reports
+    store-wide throughput, latency and the conjunction of the
+    per-shard regularity verdicts.
+    @raise Invalid_argument on an unknown protocol name. *)

@@ -59,3 +59,8 @@ type scaling_row = {
 val engine_scaling : case:string -> scaling_row list -> Report.t
 (** One representative sweep timed at increasing [--jobs]; the rows
     land in BENCH_results.json. *)
+
+(** {1 E25 — sharded key-space scaling} *)
+
+val shard_scaling :
+  protocol:string -> n:int -> keys:int -> horizon:int -> Sweep.shard_row list -> Report.t

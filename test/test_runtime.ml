@@ -293,10 +293,18 @@ let test_loopback_deployment () =
   Client.close c0;
   Client.close c1;
   (* A short burst of closed-loop load: every op must complete. *)
-  let report = Load.run ~addrs ~clients:6 ~duration_s:0.6 ~write_ratio:0.2 ~seed:7 in
+  let report = Load.run ~addrs ~clients:6 ~duration_s:0.6 ~write_ratio:0.2 ~route:Load.Fixed ~seed:7 in
   check_bool "load did work" true (report.Load.ops > 50);
   check_int "load errors" 0 report.Load.errors;
   check_bool "load wrote" true (report.Load.writes > 0);
+  (* Key-hash routing spreads ops over the whole mesh through the
+     sharded store's placement hash; everything must still complete.
+     Read-only: this trace is audited against the single-writer regime
+     below, and key-hash writes land on every node by design. *)
+  let kh = Load.run ~addrs ~clients:6 ~duration_s:0.4 ~write_ratio:0.0 ~route:Load.Key_hash ~seed:7 in
+  check_bool "key-hash load did work" true (kh.Load.ops > 50);
+  check_int "key-hash load errors" 0 kh.Load.errors;
+  check_int "key-hash load read-only" kh.Load.ops kh.Load.reads;
   (* Tear the mesh down and collect the traces. *)
   Array.iter (fun (_, ctl_w) -> ignore (Unix.write ctl_w (Bytes.make 1 'q') 0 1)) children;
   Array.iter
