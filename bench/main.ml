@@ -495,7 +495,7 @@ let run_runtime_loopback () =
   Array.iter (fun (fd, _) -> Unix.close fd) socks;
   let duration_s = if quick then 1.0 else 2.0 in
   let clients = 8 in
-  let r = Load.run ~addrs ~clients ~duration_s ~write_ratio:0.1 ~route:Load.Fixed ~seed:17 in
+  let r = Load.run ~addrs ~clients ~duration_s ~write_ratio:0.1 ~route:Load.Fixed ~seed:17 () in
   Array.iter (fun (_, ctl_w) -> ignore (Unix.write ctl_w (Bytes.make 1 'q') 0 1)) children;
   Array.iter
     (fun (pid, ctl_w) ->
@@ -971,13 +971,19 @@ let write_results_json ~tables ~scaling ~profile_rows ~shard_rows ~checker ~idle
 (* ------------------------------------------------------------------ *)
 (* Baseline comparison: `--baseline OLD.json --max-regress PCT`.
 
-   Wall-clock sections (engine_scaling, checker walls) are too noisy
-   to gate on shared CI runners; the comparison covers the bechamel
-   ns/run estimates (a slowdown beyond PCT% regresses) and the checker
-   throughput rows matched by mode+jobs (a schedules/s drop beyond
-   PCT% regresses). Names present on only one side are reported but
-   never fail the run, so old baselines predating a benchmark — or
-   this very section — stay usable. *)
+   Raw wall-clock sections are too noisy to gate on shared CI runners;
+   the comparison covers the bechamel ns/run estimates (a slowdown
+   beyond PCT% regresses), the checker throughput rows matched by
+   mode+jobs (a schedules/s drop beyond PCT% regresses), and the
+   engine_scaling *speedups* matched by case+jobs. A speedup is a
+   ratio of two walls from the same run, so machine speed cancels —
+   but only the amortized-grain "--horizon 2000" case is big enough
+   (~seconds sequential) to be stable, so only it gates; the small E24
+   case sits below the parallelism floor by design (ROADMAP item 1:
+   its recorded speedups are < 1) and is reported informationally.
+   Names present on only one side are reported but never fail the run,
+   so old baselines predating a benchmark — or this very section —
+   stay usable. *)
 let read_baseline path =
   match open_in_bin path with
   | exception Sys_error e -> Error e
@@ -987,7 +993,7 @@ let read_baseline path =
     close_in ic;
     Ok s
 
-let compare_baseline ~path ~contents ~estimates ~checker =
+let compare_baseline ~path ~contents ~estimates ~checker ~scaling =
   let module J = Dds_sim.Json in
   match Result.bind contents J.parse with
   | Error e ->
@@ -1019,6 +1025,50 @@ let compare_baseline ~path ~contents ~estimates ~checker =
         estimates
     | Some _ | None ->
       if estimates <> [] then Format.printf "  (baseline has no benchmarks section)@.");
+    (match J.member "engine_scaling" base with
+    | Some (J.List base_rows) ->
+      List.iter
+        (fun (case, rows) ->
+          (* The gate decision from the recorded --horizon 2000 rows:
+             gate the big amortized-grain case on relative speedup
+             regression; the small case's sub-floor speedups would make
+             any absolute threshold meaningless, so it only reports. *)
+          let gated =
+            let needle = "--horizon" in
+            let n = String.length needle and l = String.length case in
+            let rec at i = i + n <= l && (String.sub case i n = needle || at (i + 1)) in
+            at 0
+          in
+          List.iter
+            (fun r ->
+              if r.Tables.sc_jobs > 1 then begin
+                let matches row =
+                  (match Option.bind (J.member "case" row) J.to_string_opt with
+                  | Some c -> String.equal c case
+                  | None -> false)
+                  &&
+                  match Option.bind (J.member "jobs" row) J.to_int_opt with
+                  | Some j -> j = r.Tables.sc_jobs
+                  | None -> false
+                in
+                let name = Printf.sprintf "scaling [%s] jobs=%d" case r.Tables.sc_jobs in
+                match
+                  Option.bind (List.find_opt matches base_rows) (fun row ->
+                      Option.bind (J.member "speedup" row) J.to_float_opt)
+                with
+                | Some b when b > 0.0 ->
+                  let cur = r.Tables.sc_speedup in
+                  (* Speedup: lower is worse. *)
+                  if gated then
+                    judge name ~base_v:b ~cur_v:cur ~regress_pct:(100.0 *. ((b -. cur) /. b))
+                  else
+                    Format.printf "  %-42s %12.2f -> %12.2f  (informational)@." name b cur
+                | Some _ | None -> Format.printf "  %-42s (no baseline entry)@." name
+              end)
+            rows)
+        scaling
+    | Some _ | None ->
+      if scaling <> [] then Format.printf "  (baseline has no engine_scaling section)@.");
     (match J.member "checker" base with
     | Some (J.List base_rows) ->
       List.iter
@@ -1085,7 +1135,7 @@ let () =
   let ok =
     match baseline_contents with
     | None -> true
-    | Some (path, contents) -> compare_baseline ~path ~contents ~estimates ~checker
+    | Some (path, contents) -> compare_baseline ~path ~contents ~estimates ~checker ~scaling
   in
   Format.printf "@.done.@.";
   if not ok then exit 1

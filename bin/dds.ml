@@ -1586,21 +1586,20 @@ let audit_sharded (proto : Protocol.t) initial merged_out c path
 
 let run_audit paths (proto : Protocol.t) initial merged_out c =
   (* A shard-tagged line carries its register's index; a plain trace
-     has no tags and parses to all-None. The strict tagged parse only
-     fails on malformed lines, where the lenient plain parse (built for
-     killed live nodes) takes over — live nodes never write tags. *)
+     has no tags and parses to all-None. One parse path for both: the
+     tagged lenient reader keeps shard tags AND tolerates the partial
+     final line of a killed live node — falling back to an untagged
+     reader on truncation would silently collapse a multi-shard trace
+     into one register. *)
   let parse path =
     match read_file path with
     | exception Sys_error e -> Error e
     | text -> (
-      match Export.tagged_events_of_jsonl text with
-      | Ok tagged -> Ok tagged
-      | Error _ -> (
-        match Export.events_of_jsonl_lenient text with
-        | Error e -> Error (Printf.sprintf "%s: %s" path e)
-        | Ok (evs, warnings) ->
-          List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
-          Ok (List.map (fun ev -> (None, ev)) evs)))
+      match Export.tagged_events_of_jsonl_lenient text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok (tagged, warnings) ->
+        List.iter (fun w -> Format.eprintf "warning: %s: %s@." path w) warnings;
+        Ok tagged)
   in
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
@@ -1784,8 +1783,33 @@ let peers_t =
            list is the node's pid, and every node of one deployment must be given the \
            identical list.")
 
-let run_serve (proto : Protocol.t) id peers join initial delta_ms epoch quorum trace_out
-    metrics_out =
+(* The keyed-store placement flags, shared verbatim by serve and load:
+   both sides of a deployment must quote the identical map, exactly
+   like --peers. *)
+let serve_shards_t =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Size of the key space partition: keys route to shard \
+           $(b,SplitMix64(key) mod N), each shard an independent register. 1 (the \
+           default) is the classic single-register deployment, served to v1 and v2 \
+           clients alike.")
+
+let serve_owned_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "owned" ] ~docv:"SPEC"
+        ~doc:
+          "Static placement map as per-node shard groups: $(b,a,b;c;a,c) gives node 0 \
+           shards {a,b}, node 1 {c}, node 2 {a,c} (order = --peers order). A single \
+           group without $(b,;) replicates to every node; omitting the flag means every \
+           node owns every shard. Every process of one deployment (and dds load/client) \
+           must be given the identical spec.")
+
+let run_serve (proto : Protocol.t) id peers shards owned join initial delta_ms epoch
+    quorum trace_out metrics_out =
   match parse_peers peers with
   | Error e -> `Error (false, e)
   | Ok addrs -> (
@@ -1793,56 +1817,81 @@ let run_serve (proto : Protocol.t) id peers join initial delta_ms epoch quorum t
     if id < 0 || id >= n then
       `Error (false, Printf.sprintf "--id %d out of range [0, %d)" id n)
     else
-      let module R = (val proto.Protocol.runner : Protocol.RUNNER) in
-      match R.params { Protocol.n; delta = delta_ms; quorum } with
+      match Runix.Placement.make ~nodes:n ~shards ~spec:owned with
       | Error e -> `Error (false, e)
-      | Ok params ->
-        let module N = Runix.Node.Make (R.D.Protocol) in
-        let loop = Runix.Loop.create () in
-        let epoch_ms =
-          match epoch with Some e -> e | None -> Runix.Node.default_epoch_ms ()
+      | Ok placement -> (
+        let module R = (val proto.Protocol.runner : Protocol.RUNNER) in
+        (* One protocol instance per owned shard; each shard's group is
+           its owner set, so its params (quorum size, churn bound) are
+           derived from the owner count, not the mesh size. *)
+        let owned_here = Runix.Placement.owned placement id in
+        let resolved =
+          List.fold_left
+            (fun acc shard ->
+              match acc with
+              | Error _ -> acc
+              | Ok ps -> (
+                let group = List.length (Runix.Placement.owners placement shard) in
+                match R.params { Protocol.n = group; delta = delta_ms; quorum } with
+                | Error e -> Error (Printf.sprintf "shard %d: %s" shard e)
+                | Ok p -> Ok ((shard, p) :: ps)))
+            (Ok []) owned_here
         in
-        let cfg =
-          {
-            Runix.Node.self = id;
-            addrs;
-            join;
-            initial_value = initial;
-            epoch_ms;
-            events_enabled = trace_out <> None;
-            trace_path = trace_out;
-            listen_fd = None;
-          }
-        in
-        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-        let node = N.create ~loop cfg params in
-        let quit = ref false in
-        let stop (_ : int) = quit := true in
-        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-        let host, port = addrs.(id) in
-        Format.printf "%s node %d/%d on %s:%d (%s; delta = %d ms; epoch = %.0f)@."
-          proto.Protocol.name id n host port
-          (if join then "joining" else "founding")
-          delta_ms epoch_ms;
-        (match trace_out with
-        | Some path ->
-          Format.printf "trace      : %s@." path;
-          Format.printf
-            "audit with : dds audit <every node's trace> --proto %s --nodes %d --delta \
-             %d@."
-            proto.Protocol.name n delta_ms
-        | None -> ());
-        Format.pp_print_flush Format.std_formatter ();
-        Runix.Loop.run_while loop (fun () -> not !quit);
-        N.shutdown node;
-        (match metrics_out with
-        | Some out ->
-          write_file out
-            (Json.to_string (Export.metrics_to_json (Metrics.snapshot (N.metrics node)))
-            ^ "\n")
-        | None -> ());
-        `Ok ())
+        match resolved with
+        | Error e -> `Error (false, e)
+        | Ok params_alist ->
+          let module S = Runix.Store.Make (R.D.Protocol) in
+          let loop = Runix.Loop.create () in
+          let epoch_ms =
+            match epoch with Some e -> e | None -> Runix.Store.default_epoch_ms ()
+          in
+          let cfg =
+            {
+              Runix.Store.self = id;
+              addrs;
+              placement;
+              join;
+              initial_value = initial;
+              epoch_ms;
+              events_enabled = trace_out <> None;
+              trace_path = trace_out;
+              listen_fd = None;
+            }
+          in
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          let store = S.create ~loop cfg (fun shard -> List.assoc shard params_alist) in
+          let quit = ref false in
+          let stop (_ : int) = quit := true in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          let host, port = addrs.(id) in
+          Format.printf "%s node %d/%d on %s:%d (%s; delta = %d ms; epoch = %.0f)@."
+            proto.Protocol.name id n host port
+            (if join then "joining" else "founding")
+            delta_ms epoch_ms;
+          if Runix.Placement.shards placement > 1 then
+            Format.printf "shards     : %d total, hosting [%s] (placement %s)@."
+              (Runix.Placement.shards placement)
+              (String.concat "," (List.map string_of_int owned_here))
+              (Runix.Placement.to_string placement);
+          (match trace_out with
+          | Some path ->
+            Format.printf "trace      : %s@." path;
+            Format.printf
+              "audit with : dds audit <every node's trace> --proto %s --nodes %d --delta \
+               %d@."
+              proto.Protocol.name n delta_ms
+          | None -> ());
+          Format.pp_print_flush Format.std_formatter ();
+          Runix.Loop.run_while loop (fun () -> not !quit);
+          S.shutdown store;
+          (match metrics_out with
+          | Some out ->
+            write_file out
+              (Json.to_string (Export.metrics_to_json (Metrics.snapshot (S.metrics store)))
+              ^ "\n")
+          | None -> ());
+          `Ok ()))
 
 let serve_cmd =
   let doc =
@@ -1857,6 +1906,8 @@ let serve_cmd =
     Arg.(
       required & pos 0 (some proto_conv) None & info [] ~docv:"PROTOCOL" ~doc:proto_doc)
   in
+  let shards_t = serve_shards_t in
+  let owned_t = serve_owned_t in
   let id_t =
     Arg.(
       required
@@ -1919,24 +1970,25 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run_serve $ proto_pos_t $ id_t $ peers_t $ join_t $ initial_t $ delta_ms_t
-       $ epoch_t $ quorum_t $ trace_out_t $ metrics_out_t))
+        (const run_serve $ proto_pos_t $ id_t $ peers_t $ shards_t $ owned_t $ join_t
+       $ initial_t $ delta_ms_t $ epoch_t $ quorum_t $ trace_out_t $ metrics_out_t))
 
-let run_client addr op datum =
+let run_client addr op datum key wire =
   match parse_peers addr with
   | Error e -> `Error (false, e)
   | Ok addrs when Array.length addrs <> 1 -> `Error (false, "client takes one HOST:PORT")
   | Ok addrs -> (
     let host, port = addrs.(0) in
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    match Runix.Client.connect ~host ~port with
+    match Runix.Client.connect ~wire ~host ~port () with
     | exception Unix.Unix_error (err, _, _) ->
       `Error (false, Printf.sprintf "%s:%d: %s" host port (Unix.error_message err))
+    | exception Failure e -> `Error (false, e)
     | c ->
       let r =
         match (op, datum) with
-        | "read", None -> Ok (Runix.Client.read c)
-        | "write", Some v -> Ok (Runix.Client.write c v)
+        | "read", None -> Ok (Runix.Client.read ~key c)
+        | "write", Some v -> Ok (Runix.Client.write ~key c v)
         | "write", None -> Error "write takes a value: dds client HOST:PORT write INT"
         | "read", Some _ -> Error "read takes no value"
         | op, _ -> Error (Printf.sprintf "unknown operation %S (read|write)" op)
@@ -1953,7 +2005,9 @@ let client_cmd =
   let doc =
     "One register operation against a live node: $(b,dds client HOST:PORT read) prints \
      the value (as datum#sn), $(b,dds client HOST:PORT write INT) writes and prints \
-     the stored value. Writes should go to node 0 — the deployments assume one writer."
+     the stored value. $(b,--key) addresses a register of a sharded store (wire v2); \
+     the addressed node must own the key's shard. Writes should go to the shard's \
+     writer — the deployments assume one writer per shard."
   in
   let addr_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc:"Node address.")
@@ -1964,52 +2018,137 @@ let client_cmd =
   let datum_t =
     Arg.(value & pos 2 (some int) None & info [] ~docv:"INT" ~doc:"Value to write.")
   in
-  Cmd.v (Cmd.info "client" ~doc) Term.(ret (const run_client $ addr_t $ op_t $ datum_t))
+  let key_t =
+    Arg.(
+      value & opt int 0
+      & info [ "key" ] ~docv:"KEY"
+          ~doc:
+            "The 63-bit key the operation addresses (default 0 — the register every v1 \
+             deployment serves). Requires wire v2.")
+  in
+  let wire_t =
+    Arg.(
+      value
+      & opt (enum [ ("v1", Dds_net.Wire.v1); ("v2", Dds_net.Wire.v2) ]) Dds_net.Wire.v2
+      & info [ "wire" ] ~docv:"VERSION"
+          ~doc:
+            "Wire protocol version to speak: $(b,v2) (default; keyed frames, handshake \
+             ack) or $(b,v1) (byte-identical to the pre-keyed protocol, for talking to \
+             old servers — key 0 only).")
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(ret (const run_client $ addr_t $ op_t $ datum_t $ key_t $ wire_t))
 
-let run_load peers clients duration write_ratio route seed metrics_out =
+let run_load peers shards owned keys skew clients duration write_ratio route seed
+    metrics_out =
   match parse_peers peers with
   | Error e -> `Error (false, e)
   | Ok addrs -> (
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    match Runix.Load.run ~addrs ~clients ~duration_s:duration ~write_ratio ~route ~seed with
-    | exception Failure e -> `Error (false, e)
-    | r ->
-      let row label (h : Histogram.t) =
-        [
-          label;
-          Report.cell_int (Histogram.count h);
-          Report.cell_float (Histogram.percentile h 50.0);
-          Report.cell_float (Histogram.percentile h 99.0);
-          Report.cell_float (Histogram.max_value h);
-        ]
-      in
-      Report.print
-        (Report.make ~title:"load summary"
-           ~headers:[ "op"; "n"; "p50 (us)"; "p99 (us)"; "max (us)" ]
-           [ row "read" r.Runix.Load.read_lat_us; row "write" r.Runix.Load.write_lat_us ]);
-      Format.printf "throughput : %d op(s) in %.2f s = %.0f op/s (%d read / %d write, %s \
-                     routing)@."
-        r.Runix.Load.ops r.Runix.Load.elapsed_s (Runix.Load.ops_per_s r)
-        r.Runix.Load.reads r.Runix.Load.writes
-        (Runix.Load.route_to_string route);
-      Format.printf "errors     : %d@." r.Runix.Load.errors;
-      (match metrics_out with
-      | Some out ->
-        write_file out
-          (Json.to_string
-             (Export.metrics_to_json (Metrics.snapshot (Runix.Load.metrics_of_report r)))
-          ^ "\n")
-      | None -> ());
-      if r.Runix.Load.errors = 0 then `Ok () else `Error (false, "load saw errors"))
+    let nodes = Array.length addrs in
+    (* --shards/--owned quote the servers' placement; without them the
+       generator falls back to Load's historical per-node spread. *)
+    let placement =
+      match (shards, owned) with
+      | None, None -> Ok None
+      | shards, owned ->
+        Result.map Option.some
+          (Runix.Placement.make ~nodes
+             ~shards:(Option.value shards ~default:nodes)
+             ~spec:owned)
+    in
+    match placement with
+    | Error e -> `Error (false, e)
+    | Ok placement -> (
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      match
+        Runix.Load.run ?placement ~keys ~skew ~addrs ~clients ~duration_s:duration
+          ~write_ratio ~route ~seed ()
+      with
+      | exception Failure e -> `Error (false, e)
+      | r ->
+        let row label (h : Histogram.t) =
+          [
+            label;
+            Report.cell_int (Histogram.count h);
+            Report.cell_float (Histogram.percentile h 50.0);
+            Report.cell_float (Histogram.percentile h 99.0);
+            Report.cell_float (Histogram.max_value h);
+          ]
+        in
+        (* Under key-hash the same latencies are re-cut by key class:
+           the hot head of the zipf curve vs the cold tail. *)
+        let class_rows =
+          if r.Runix.Load.hot_keys = 0 then []
+          else
+            [
+              row
+                (Printf.sprintf "hot (top %d key(s))" r.Runix.Load.hot_keys)
+                r.Runix.Load.hot_lat_us;
+              row "cold" r.Runix.Load.cold_lat_us;
+            ]
+        in
+        Report.print
+          (Report.make ~title:"load summary"
+             ~headers:[ "op"; "n"; "p50 (us)"; "p99 (us)"; "max (us)" ]
+             ([ row "read" r.Runix.Load.read_lat_us; row "write" r.Runix.Load.write_lat_us ]
+             @ class_rows));
+        Format.printf "throughput : %d op(s) in %.2f s = %.0f op/s (%d read / %d write, \
+                       %s routing)@."
+          r.Runix.Load.ops r.Runix.Load.elapsed_s (Runix.Load.ops_per_s r)
+          r.Runix.Load.reads r.Runix.Load.writes
+          (Runix.Load.route_to_string route);
+        if route = Runix.Load.Key_hash then
+          Format.printf "key space  : %d key(s), zipf s = %.2f%s@." keys skew
+            (match placement with
+            | Some p ->
+              Printf.sprintf ", %d shard(s), placement %s" (Runix.Placement.shards p)
+                (Runix.Placement.to_string p)
+            | None -> Printf.sprintf ", default placement (%d shards)" nodes);
+        Format.printf "errors     : %d@." r.Runix.Load.errors;
+        (match metrics_out with
+        | Some out ->
+          write_file out
+            (Json.to_string
+               (Export.metrics_to_json (Metrics.snapshot (Runix.Load.metrics_of_report r)))
+            ^ "\n")
+        | None -> ());
+        if r.Runix.Load.errors = 0 then `Ok () else `Error (false, "load saw errors")))
 
 let load_cmd =
   let doc =
     "Closed-loop load generator against a live deployment: N concurrent clients each \
      issue read/write, wait, repeat, for the given duration. $(b,--route) picks where \
      ops land: $(b,fixed) funnels writes to node 0 (single-writer regime), \
-     $(b,round-robin) walks the mesh per op, $(b,key-hash) places each op by the same \
-     SplitMix64 key hash the simulator's sharded store uses. Latency lands in the same \
-     histogram / metrics pipeline as the simulator's tables."
+     $(b,round-robin) walks the mesh per op, $(b,key-hash) issues real keyed (wire v2) \
+     operations: each op draws a key from a zipfian popularity curve ($(b,--keys), \
+     $(b,--skew)) and lands on its shard under the deployment's placement \
+     ($(b,--shards)/$(b,--owned), quoted identically to dds serve) — reads on any owner, \
+     writes on the shard's writer. The report then splits latency into hot and cold key \
+     classes. Latency lands in the same histogram / metrics pipeline as the simulator's \
+     tables."
+  in
+  let shards_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "The served deployment's shard count (quote dds serve's value). Default: one \
+             shard per node, the historical key-hash spread.")
+  in
+  let owned_t = serve_owned_t in
+  let keys_t =
+    Arg.(
+      value & opt int 4096
+      & info [ "keys" ] ~docv:"N" ~doc:"Key-space size for $(b,--route key-hash).")
+  in
+  let skew_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "skew" ] ~docv:"S"
+          ~doc:
+            "Zipf exponent of the key popularity curve: 0 (default) uniform, ~1 classic \
+             zipf, higher = hotter head.")
   in
   let clients_t =
     Arg.(
@@ -2053,8 +2192,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc)
     Term.(
       ret
-        (const run_load $ peers_t $ clients_t $ duration_t $ write_ratio_t $ route_t
-       $ seed_t $ metrics_out_t))
+        (const run_load $ peers_t $ shards_t $ owned_t $ keys_t $ skew_t $ clients_t
+       $ duration_t $ write_ratio_t $ route_t $ seed_t $ metrics_out_t))
 
 (* hunt *)
 
@@ -2417,10 +2556,22 @@ let run_list () =
       in
       Format.printf "  %-12s %-4s %s@." name alias doc)
     sweeps;
+  Format.printf "@.wire protocol (runtime frames; v%d..v%d, negotiated in \
+                 Hello/Client_hello):@."
+    Dds_net.Wire.v1 Dds_net.Wire.max_version;
+  Format.printf "  %-12s %3s  %-36s %s@." "frame" "tag" "v1 fields" "v2 fields";
+  List.iter
+    (fun (name, tag, v1_fields, v2_fields) ->
+      Format.printf "  %-12s %3d  %-36s %s@." name tag v1_fields
+        (if v1_fields = v2_fields then "(same)" else v2_fields))
+    Runix.Frame.catalog;
   `Ok ()
 
 let list_cmd =
-  let doc = "List the registered protocols (with their theorem metadata) and sweeps." in
+  let doc =
+    "List the registered protocols (with their theorem metadata), sweeps, and the \
+     runtime wire-protocol frame catalog (v1/v2 field layouts)."
+  in
   Cmd.v (Cmd.info "list" ~doc) Term.(ret (const run_list $ const ()))
 
 let main_cmd =

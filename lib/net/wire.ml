@@ -3,6 +3,14 @@ exception Malformed of string
 
 let max_frame = 16 * 1024 * 1024
 
+(* --- wire protocol versions ----------------------------------------- *)
+
+let v1 = 1
+let v2 = 2
+let max_version = v2
+
+let version_supported v = v = v1 || v = v2
+
 (* --- writers -------------------------------------------------------- *)
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
@@ -17,6 +25,10 @@ let put_bool b v = put_u8 b (if v then 1 else 0)
 let put_string b s =
   put_int b (String.length s);
   Buffer.add_string b s
+
+let put_key b k =
+  if k < 0 then raise (Malformed (Printf.sprintf "key %d negative" k));
+  put_int b k
 
 (* --- readers -------------------------------------------------------- *)
 
@@ -52,6 +64,11 @@ let get_string r =
   let s = String.sub r.buf r.pos len in
   r.pos <- r.pos + len;
   s
+
+let get_key r =
+  let k = get_int r in
+  if k < 0 then raise (Malformed (Printf.sprintf "key %d negative" k));
+  k
 
 let expect_end r =
   if remaining r <> 0 then

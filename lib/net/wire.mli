@@ -26,6 +26,28 @@ val max_frame : int
     raises [Malformed] rather than allocating attacker-chosen
     buffers. *)
 
+(** {1 Wire protocol versions}
+
+    The envelope layer ({!Dds_runtime_unix.Frame}) is versioned: v1 is
+    the PR 8 single-register layout, v2 adds a 63-bit key to client
+    operations and a shard id to peer messages. The version is
+    negotiated per connection by the first [Hello]/[Client_hello]
+    frame; these constants name the versions so codec and negotiation
+    code never hard-codes integers. *)
+
+val v1 : int
+(** Original single-register wire protocol (no keys on the wire). *)
+
+val v2 : int
+(** Keyed wire protocol: [Read_req]/[Write_req]/[Resp] carry a key,
+    [Msg] carries a shard id. *)
+
+val max_version : int
+(** Highest version this build understands (= {!v2}). *)
+
+val version_supported : int -> bool
+(** Whether this build can speak the given version. *)
+
 (** {1 Writers} *)
 
 val put_u8 : Buffer.t -> int -> unit
@@ -41,6 +63,11 @@ val put_bool : Buffer.t -> bool -> unit
 val put_string : Buffer.t -> string -> unit
 (** [put_int] length then raw bytes. *)
 
+val put_key : Buffer.t -> int -> unit
+(** A 63-bit non-negative register key, encoded like [put_int].
+    @raise Malformed on a negative key (keys are hashes masked to the
+    low 62 bits, so a negative key is a caller bug, not data). *)
+
 (** {1 Readers} *)
 
 type reader
@@ -53,6 +80,9 @@ val get_u8 : reader -> int
 val get_int : reader -> int
 val get_bool : reader -> bool
 val get_string : reader -> string
+
+val get_key : reader -> int
+(** @raise Malformed on a negative key. *)
 
 val expect_end : reader -> unit
 (** @raise Malformed if undecoded bytes remain — a frame must be

@@ -11,15 +11,20 @@ open Dds_sim
       protocols' correctness arguments assume, so only the clients
       assigned to node 0 write (node 0 serializes concurrent client
       writes through its operation queue) and everyone else reads from
-      their own node.
+      their own node. Every op addresses key 0.
     - [Round_robin]: each client holds one connection per node and
       walks the mesh, op [k] to node [k mod n] — reads and writes
       alike, a uniform spread that deliberately exercises the
-      multi-writer path.
-    - [Key_hash]: each op draws a synthetic key and lands on
-      [Shard.route ~shards:n ~key] — the exact placement function the
-      simulator's sharded store uses (lib/shard), so a live mesh and a
-      simulated one spread the same keys the same way.
+      multi-writer path. Every op addresses key 0.
+    - [Key_hash]: real keyed traffic against the sharded store. Each
+      op draws a key from a zipfian popularity curve ({!Dds_workload.Skew},
+      exponent [skew] over [keys] keys), carries it on the wire
+      (protocol v2), and lands on a node of the key's shard under
+      [placement] — reads on any owner, writes on the shard's
+      designated writer, preserving the per-shard single-writer
+      regime. Latencies are additionally split into hot (top 1% of
+      ranks) and cold key classes, so the report shows what skew does
+      to the head of the popularity curve vs the tail.
 
     Latencies land in microsecond histograms and flow out through the
     same {!Dds_sim.Histogram} / {!Dds_sim.Metrics} pipeline the
@@ -40,6 +45,9 @@ type report = {
   elapsed_s : float;
   read_lat_us : Histogram.t;
   write_lat_us : Histogram.t;
+  hot_lat_us : Histogram.t;  (** ops on hot keys; empty off [Key_hash] *)
+  cold_lat_us : Histogram.t;  (** ops on cold keys; empty off [Key_hash] *)
+  hot_keys : int;  (** size of the hot class (0 off [Key_hash]) *)
 }
 
 let ops_per_s r = if r.elapsed_s > 0. then float_of_int r.ops /. r.elapsed_s else 0.
@@ -48,10 +56,9 @@ let ops_per_s r = if r.elapsed_s > 0. then float_of_int r.ops /. r.elapsed_s els
    this range, a congested mesh stretches to the top. *)
 let lat_edges = Array.init 15 (fun i -> 50. *. (2. ** float_of_int i))
 
-(* The synthetic key space for Key_hash. Only the spread matters (keys
-   never reach the wire — the hash picks the node), so any span well
-   above the mesh size does. *)
-let key_space = 4096
+(* The default synthetic key space for Key_hash; overridable with
+   ~keys. Any span well above the shard count spreads fine. *)
+let default_keys = 4096
 
 type client = {
   conns : Conn.t option array;  (** index = node; [Fixed] fills only [home] *)
@@ -59,12 +66,15 @@ type client = {
   mutable req : int;
   mutable issued_at : float;  (** ms, of the op in flight *)
   mutable writing : bool;  (** the op in flight is a write *)
+  mutable hot : bool;  (** the op in flight addresses a hot key *)
   mutable dead : bool;  (** counted out of [t.live] already *)
 }
 
 type t = {
   loop : Loop.t;
   addrs : (string * int) array;
+  placement : Placement.t;
+  sampler : Dds_workload.Skew.sampler option;  (** [Some] iff Key_hash *)
   write_ratio : float;
   route : route;
   deadline_ms : float;
@@ -77,6 +87,8 @@ type t = {
   mutable next_datum : int;
   read_lat : Histogram.t;
   write_lat : Histogram.t;
+  hot_lat : Histogram.t;
+  cold_lat : Histogram.t;
 }
 
 let count_out t st =
@@ -98,17 +110,26 @@ let issue t st =
     st.issued_at <- Loop.now_ms ();
     let n = Array.length t.addrs in
     let want_write = Rng.float t.rng 1.0 < t.write_ratio in
-    let target =
+    let key, target, write, hot =
       match t.route with
-      | Fixed -> st.home
-      | Round_robin -> st.req mod n
-      | Key_hash -> Dds_shard.Shard.route ~shards:n ~key:(Rng.int t.rng key_space)
-    in
-    (* Fixed keeps the single-writer funnel: only node-0 clients write,
-       everyone else falls back to a read (the historical behavior).
-       The other routes write wherever the op lands. *)
-    let write =
-      want_write && (match t.route with Fixed -> target = 0 | Round_robin | Key_hash -> true)
+      | Fixed ->
+        (* Fixed keeps the single-writer funnel: only node-0 clients
+           write, everyone else falls back to a read (the historical
+           behavior). *)
+        (0, st.home, want_write && st.home = 0, false)
+      | Round_robin -> (0, st.req mod n, want_write, false)
+      | Key_hash ->
+        let sm = Option.get t.sampler in
+        let key, rank = Dds_workload.Skew.draw sm in
+        let shard = Placement.route t.placement ~key in
+        let owners = Placement.owners t.placement shard in
+        (* Writes funnel to the shard's designated writer; reads land
+           on a random owner — any replica of the shard serves them. *)
+        let target =
+          if want_write then Placement.writer t.placement shard
+          else List.nth owners (Rng.int t.rng (List.length owners))
+        in
+        (key, target, want_write, rank < Dds_workload.Skew.hot_ranks sm)
     in
     let conn =
       match st.conns.(target) with
@@ -124,16 +145,17 @@ let issue t st =
     | None -> count_out t st
     | Some conn ->
       st.writing <- write;
+      st.hot <- hot;
       if write then begin
         t.next_datum <- t.next_datum + 1;
-        Conn.write_frame conn (Frame.buf_write_req ~req:st.req ~data:t.next_datum)
+        Conn.write_frame conn (Frame.buf_write_req ~req:st.req ~key ~data:t.next_datum ())
       end
-      else Conn.write_frame conn (Frame.buf_read_req ~req:st.req)
+      else Conn.write_frame conn (Frame.buf_read_req ~req:st.req ~key ())
   end
 
 let on_frame t st payload =
-  match Frame.decode payload with
-  | Frame.Resp { req; value = _ } when req = st.req ->
+  match Frame.decode ~version:Dds_net.Wire.v2 payload with
+  | Frame.Resp { req; _ } when req = st.req ->
     let lat_us = (Loop.now_ms () -. st.issued_at) *. 1000. in
     t.ops <- t.ops + 1;
     if st.writing then begin
@@ -144,6 +166,8 @@ let on_frame t st payload =
       t.reads <- t.reads + 1;
       Histogram.add t.read_lat lat_us
     end;
+    if t.route = Key_hash then
+      Histogram.add (if st.hot then t.hot_lat else t.cold_lat) lat_us;
     issue t st
   | Frame.Err { req; reason = _ } when req = st.req ->
     t.errors <- t.errors + 1;
@@ -188,6 +212,10 @@ let connect_client t i =
               count_out t st
             | _ -> ())
       in
+      (* v2 hello: the server acks with its Hello, which [on_frame]
+         skips (it only matches Resp/Err on the op in flight). The
+         pipelined first op is safe — the server fixes the connection's
+         version on the hello before decoding anything later. *)
       Conn.write_frame conn (Frame.buf_client_hello ());
       Some conn
   in
@@ -200,22 +228,40 @@ let connect_client t i =
     done);
   if Array.for_all Option.is_none conns then None
   else begin
-    let st = { conns; home; req = -1; issued_at = -1.; writing = false; dead = false } in
+    let st =
+      { conns; home; req = -1; issued_at = -1.; writing = false; hot = false; dead = false }
+    in
     st_ref := Some st;
     Some st
   end
 
-let run ~addrs ~clients ~duration_s ~write_ratio ~route ~seed =
+let run ?placement ?(keys = default_keys) ?(skew = 0.0) ~addrs ~clients ~duration_s
+    ~write_ratio ~route ~seed () =
+  let n = Array.length addrs in
+  let placement =
+    match placement with
+    | Some p -> p
+    (* Default for keyed routing: as many shards as nodes, everyone
+       owning everything — the spread [Shard.route ~shards:n] gave
+       before placements existed. *)
+    | None -> Placement.all ~nodes:n ~shards:n
+  in
   let loop = Loop.create () in
   let started = Loop.now_ms () in
+  let rng = Rng.create ~seed in
   let t =
     {
       loop;
       addrs;
+      placement;
+      sampler =
+        (match route with
+        | Key_hash -> Some (Dds_workload.Skew.sampler ~rng ~keys ~s:skew)
+        | Fixed | Round_robin -> None);
       write_ratio;
       route;
       deadline_ms = started +. (duration_s *. 1000.);
-      rng = Rng.create ~seed;
+      rng;
       live = 0;
       ops = 0;
       reads = 0;
@@ -224,6 +270,8 @@ let run ~addrs ~clients ~duration_s ~write_ratio ~route ~seed =
       next_datum = 1_000_000;  (* distinct from anything dds client writes by hand *)
       read_lat = Histogram.create ~edges:lat_edges;
       write_lat = Histogram.create ~edges:lat_edges;
+      hot_lat = Histogram.create ~edges:lat_edges;
+      cold_lat = Histogram.create ~edges:lat_edges;
     }
   in
   let states = List.filter_map (connect_client t) (List.init clients (fun i -> i)) in
@@ -239,6 +287,10 @@ let run ~addrs ~clients ~duration_s ~write_ratio ~route ~seed =
     elapsed_s = (Loop.now_ms () -. started) /. 1000.;
     read_lat_us = t.read_lat;
     write_lat_us = t.write_lat;
+    hot_lat_us = t.hot_lat;
+    cold_lat_us = t.cold_lat;
+    hot_keys =
+      (match t.sampler with Some sm -> Dds_workload.Skew.hot_ranks sm | None -> 0);
   }
 
 let metrics_of_report r =
@@ -262,6 +314,10 @@ let metrics_of_report r =
   in
   fill "latency.read_us" r.read_lat_us;
   fill "latency.write_us" r.write_lat_us;
+  if r.hot_keys > 0 then begin
+    fill "latency.hot_us" r.hot_lat_us;
+    fill "latency.cold_us" r.cold_lat_us
+  end;
   Metrics.add m "load.ops" r.ops;
   Metrics.add m "load.reads" r.reads;
   Metrics.add m "load.writes" r.writes;

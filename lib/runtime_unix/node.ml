@@ -1,50 +1,16 @@
-open Dds_sim
-open Dds_net
-open Dds_runtime
+(** One live register node: the v1 single-register face of {!Store}.
 
-(** One live register node: a protocol state machine from [lib/core]
-    run over TCP instead of the simulator.
+    Historically this module {e was} the TCP runtime; the wire-v2
+    keyed redesign moved the mesh, negotiation and per-shard protocol
+    hosting into {!Store}, and [Node] remains as the 1-shard special
+    case — same config surface, same wire behavior as the original
+    runtime (a 1-shard store writes untagged traces, speaks to v1
+    clients, and uses the [pid × 10⁶] span bases, all of which
+    {!Store} degenerates to at [shards = 1]). Existing deployments,
+    tests and benches keep working unchanged; keyed deployments use
+    {!Store} directly. *)
 
-    The mesh is total and directional: node [i] dials an {e outgoing}
-    link to every other address in the mesh and uses it exclusively
-    for sending; everything it receives arrives on links its peers
-    dialed to it (or on client connections). An outgoing link opens
-    with a [Hello] naming the dialer, so the acceptor knows which pid
-    is speaking before the first protocol message.
-
-    Presence mirrors the simulator's attachment rule: a peer is
-    "attached" while our outgoing link to it is connected — sends to a
-    disconnected peer drop silently ([net.dropped]), exactly as the
-    simulator drops sends to detached pids. Crash-stop is process
-    exit: the dead peer's links error out, every copy in flight to it
-    is gone, and the survivors' fault plans need no coordination.
-    Dialing retries every 250 ms, which also absorbs staggered process
-    start-up at deployment time.
-
-    {b Time and telemetry.} 1 simulator tick = 1 ms: [delta] given to
-    the protocol params is a bound in milliseconds, timers run on the
-    shared {!Loop}, and every event is stamped with
-    [ms since the configured epoch] — all nodes of one deployment must
-    share the epoch (default: today's midnight UTC) so their traces
-    merge on one time line. Each node Lamport-stamps its sends and
-    applies the max(local,sent)+1 receive rule, emitting the same
-    [Send]/[Deliver]/[Drop] events as {!Dds_net.Network.transmit};
-    span ids are offset by [pid * 1_000_000] per node so a merged
-    trace still has globally unique spans. The result: [dds audit] and
-    [dds explain] run unchanged on wire traces. *)
-
-let default_epoch_ms () =
-  (* Midnight UTC today: processes of one deployment started the same
-     day agree on it without coordination; cross-midnight deployments
-     pass --epoch explicitly. *)
-  let t = Unix.gettimeofday () in
-  let tm = Unix.gmtime t in
-  let midnight, _ = Unix.mktime { tm with tm_hour = 0; tm_min = 0; tm_sec = 0 } in
-  (* mktime interprets in local time; correct by the difference between
-     gmtime and localtime of the same instant. *)
-  let local, _ = Unix.mktime (Unix.localtime t) in
-  let gm_as_local, _ = Unix.mktime (Unix.gmtime t) in
-  (midnight -. (gm_as_local -. local)) *. 1000.
+let default_epoch_ms = Store.default_epoch_ms
 
 type config = {
   self : int;  (** index into [addrs] = this node's pid *)
@@ -71,375 +37,29 @@ let default_config ~self ~addrs =
     listen_fd = None;
   }
 
+let store_config cfg =
+  {
+    Store.self = cfg.self;
+    addrs = cfg.addrs;
+    placement = Placement.all ~nodes:(Array.length cfg.addrs) ~shards:1;
+    join = cfg.join;
+    initial_value = cfg.initial_value;
+    epoch_ms = cfg.epoch_ms;
+    events_enabled = cfg.events_enabled;
+    trace_path = cfg.trace_path;
+    listen_fd = cfg.listen_fd;
+  }
+
 module Make (P : Dds_core.Register_intf.PROTOCOL) = struct
-  type link = {
-    peer : int;
-    mutable conn : Conn.t option;  (** established, hello sent *)
-    mutable dialing : bool;
-  }
+  module S = Store.Make (P)
 
-  type client_op = Do_read | Do_write of int
+  type t = S.t
 
-  type t = {
-    cfg : config;
-    loop : Loop.t;
-    pid : Pid.t;
-    sink : Event.sink;
-    metrics : Metrics.t;
-    mutable lamport : int;
-    links : link array;  (** outgoing, index = peer pid; [self] unused *)
-    mutable listen : Unix.file_descr option;
-    mutable handler : (src:Pid.t -> P.msg -> unit) option;
-    mutable node : P.node option;
-    mutable left : bool;
-    queue : (Conn.t * int * client_op) Queue.t;
-    mutable op_busy : bool;
-    mutable trace_chan : out_channel option;
-    mutable stop_flush : unit -> unit;
-  }
-
-  let pid t = t.pid
-  let sink t = t.sink
-  let metrics t = t.metrics
-  let node t = match t.node with Some n -> n | None -> assert false
-  let active t = match t.node with Some n -> P.is_active n | None -> false
-
-  (* --- clock ------------------------------------------------------- *)
-
-  let now t =
-    let ms = int_of_float (Loop.now_ms () -. t.cfg.epoch_ms) in
-    Time.of_int (Stdlib.max 0 ms)
-
-  let emit t ev = if Event.enabled t.sink then Event.emit t.sink ~at:(now t) ev
-
-  let tick_send t =
-    t.lamport <- t.lamport + 1;
-    t.lamport
-
-  let tick_recv t ~sent =
-    t.lamport <- Stdlib.max t.lamport sent + 1;
-    t.lamport
-
-  (* --- transport --------------------------------------------------- *)
-
-  let self_i t = t.cfg.self
-
-  let announce t ~bcast ~dst msg =
-    Metrics.incr t.metrics "net.transmit";
-    let lc = if Event.enabled t.sink then tick_send t else 0 in
-    emit t
-      (Event.Send
-         { src = self_i t; dst; kind = P.msg_kind msg; broadcast = bcast; lamport = lc });
-    lc
-
-  (* A copy to ourselves: broadcasts include the sender, and the sync
-     protocol's joiner answers its own INQUIRY queue through this
-     path. Delivery is deferred to the next loop turn so a handler
-     never re-enters itself — the simulator's >= 1 tick delay gives
-     the same guarantee there. *)
-  let after_ms_ignore loop d f = ignore (Loop.after_ms loop d f : unit -> unit)
-
-  let deliver_local t ~sent_lc msg =
-    after_ms_ignore t.loop 0 (fun () ->
-           match t.handler with
-           | Some h when not t.left ->
-             Metrics.incr t.metrics "net.delivered";
-             let recv_lc = if Event.enabled t.sink then tick_recv t ~sent:sent_lc else 0 in
-             emit t
-               (Event.Deliver
-                  {
-                    src = self_i t;
-                    dst = self_i t;
-                    kind = P.msg_kind msg;
-                    lamport = recv_lc;
-                    sent = sent_lc;
-                  });
-             h ~src:t.pid msg
-           | Some _ | None ->
-             Metrics.incr t.metrics "net.dropped";
-             emit t
-               (Event.Drop
-                  { src = self_i t; dst = self_i t; kind = P.msg_kind msg; reason = Event.Departed }))
-
-  let link_ready t peer =
-    peer <> self_i t
-    && match t.links.(peer).conn with Some c -> not c.Conn.closed | None -> false
-
-  let transmit t ~bcast dst msg =
-    if dst = self_i t then begin
-      let lc = announce t ~bcast ~dst msg in
-      deliver_local t ~sent_lc:lc msg
-    end
-    else
-      match t.links.(dst).conn with
-      | Some conn when not conn.Conn.closed ->
-        let lc = announce t ~bcast ~dst msg in
-        let b = Frame.buf_msg_header ~src:(self_i t) ~lamport:lc in
-        P.put_msg b msg;
-        Conn.write_frame conn b
-      | Some _ | None -> Metrics.incr t.metrics "net.dropped"
-
-  let rt_send t ~src:_ ~dst msg =
-    let dst = Pid.to_int dst in
-    let attached = (dst = self_i t && t.handler <> None) || link_ready t dst in
-    if attached then begin
-      Metrics.incr t.metrics "net.sent";
-      transmit t ~bcast:false dst msg
-    end
-    else Metrics.incr t.metrics "net.dropped"
-
-  let rt_broadcast t ~src:_ msg =
-    Metrics.incr t.metrics "net.broadcast";
-    (* Present set = ourselves plus every peer our outgoing link
-       reaches, in pid order — the wire analogue of the simulator's
-       sorted attached snapshot. *)
-    for dst = 0 to Array.length t.cfg.addrs - 1 do
-      if (dst = self_i t && t.handler <> None) || link_ready t dst then
-        transmit t ~bcast:true dst msg
-    done
-
-  let runtime t : P.msg Runtime.t =
-    {
-      Runtime.now = (fun () -> now t);
-      after = (fun ~who:_ d f -> Loop.after_ms t.loop d f);
-      send = (fun ~src ~dst m -> rt_send t ~src ~dst m);
-      broadcast = (fun ~src m -> rt_broadcast t ~src m);
-      attach =
-        (fun pid h ->
-          if not (Pid.equal pid t.pid) then invalid_arg "Node runtime: foreign attach";
-          t.handler <- Some h);
-      detach =
-        (fun pid -> if Pid.equal pid t.pid then begin t.handler <- None; t.left <- true end);
-      events = Some t.sink;
-      incr = (fun name -> Metrics.incr t.metrics name);
-    }
-
-  (* --- incoming frames --------------------------------------------- *)
-
-  let respond t conn req value =
-    ignore t;
-    Conn.write_frame conn (Frame.buf_resp ~req value)
-
-  let rec pump t =
-    if (not t.op_busy) && not (Queue.is_empty t.queue) then
-      match t.node with
-      | Some node when P.is_active node && not (P.busy node) -> (
-        let conn, req, op = Queue.pop t.queue in
-        t.op_busy <- true;
-        let k value =
-          t.op_busy <- false;
-          respond t conn req value;
-          pump t
-        in
-        match op with
-        | Do_read -> P.read node ~k
-        | Do_write data -> P.write node data ~k)
-      | Some _ | None -> ()
-
-  let on_peer_msg t ~src ~lamport rest =
-    match P.get_msg rest with
-    | exception (Wire.Truncated | Wire.Malformed _) ->
-      Metrics.incr t.metrics "net.malformed"
-    | msg -> (
-      Wire.expect_end rest;
-      match t.handler with
-      | Some h when not t.left ->
-        Metrics.incr t.metrics "net.delivered";
-        let recv_lc = if Event.enabled t.sink then tick_recv t ~sent:lamport else 0 in
-        emit t
-          (Event.Deliver
-             { src; dst = self_i t; kind = P.msg_kind msg; lamport = recv_lc; sent = lamport });
-        h ~src:(Pid.of_int src) msg;
-        pump t
-      | Some _ | None ->
-        Metrics.incr t.metrics "net.dropped";
-        emit t
-          (Event.Drop { src; dst = self_i t; kind = P.msg_kind msg; reason = Event.Departed }))
-
-  let on_incoming_frame t conn payload =
-    match Frame.decode payload with
-    | exception (Wire.Truncated | Wire.Malformed _) ->
-      Metrics.incr t.metrics "net.malformed";
-      Conn.close conn
-    | Frame.Hello _ | Frame.Client_hello -> ()
-    | Frame.Msg { src; lamport; rest } -> on_peer_msg t ~src ~lamport rest
-    | Frame.Read_req { req } ->
-      Queue.push (conn, req, Do_read) t.queue;
-      pump t
-    | Frame.Write_req { req; data } ->
-      Queue.push (conn, req, Do_write data) t.queue;
-      pump t
-    | Frame.Resp _ | Frame.Err _ -> Metrics.incr t.metrics "net.malformed"
-
-  (* --- outgoing links ---------------------------------------------- *)
-
-  let rec dial t link =
-    if (not link.dialing) && (not t.left) && not (Loop.stopped t.loop) then begin
-      link.dialing <- true;
-      let host, port = t.cfg.addrs.(link.peer) in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.set_nonblock fd;
-      let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
-      let finish ok =
-        Loop.unwatch_write t.loop fd;
-        if ok then begin
-          Unix.clear_nonblock fd;
-          let conn =
-            Conn.create ~loop:t.loop ~fd
-              ~on_frame:(fun _ _ -> (* the reply direction is unused *) ())
-              ~on_close:(fun _ ->
-                link.conn <- None;
-                retry t link)
-          in
-          link.conn <- Some conn;
-          link.dialing <- false;
-          Conn.write_frame conn (Frame.buf_hello (self_i t))
-        end
-        else begin
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          link.dialing <- false;
-          retry t link
-        end
-      in
-      match Unix.connect fd addr with
-      | () -> finish true
-      | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
-        Loop.watch_write t.loop fd (fun () ->
-            let ok = Unix.getsockopt_error fd = None in
-            finish ok)
-      | exception Unix.Unix_error _ -> finish false
-    end
-
-  and retry t link =
-    if (not t.left) && not (Loop.stopped t.loop) then
-      after_ms_ignore t.loop 250 (fun () -> dial t link)
-
-  (* --- listener ---------------------------------------------------- *)
-
-  let listen_socket cfg =
-    match cfg.listen_fd with
-    | Some fd -> fd
-    | None ->
-      let host, port = cfg.addrs.(cfg.self) in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-      Unix.listen fd 512;
-      fd
-
-  let accept_loop t fd =
-    Loop.watch_read t.loop fd (fun () ->
-        match Unix.accept fd with
-        | exception Unix.Unix_error _ -> ()
-        | client_fd, _ ->
-          ignore
-            (Conn.create ~loop:t.loop ~fd:client_fd
-               ~on_frame:(fun conn payload -> on_incoming_frame t conn payload)
-               ~on_close:(fun _ -> ())))
-
-  (* --- trace streaming --------------------------------------------- *)
-
-  let start_trace t =
-    match t.cfg.trace_path with
-    | None -> ()
-    | Some path ->
-      let chan = open_out path in
-      t.trace_chan <- Some chan;
-      Event.on_emit t.sink (fun stamped ->
-          output_string chan (Json.to_string (Export.event_to_json stamped));
-          output_char chan '\n');
-      (* Flush on a timer rather than per event: a SIGTERM'd process
-         loses at most the last partial line, which the lenient JSONL
-         readers tolerate. *)
-      let rec flush_later () =
-        t.stop_flush <-
-          Loop.after_ms t.loop 200 (fun () ->
-              flush chan;
-              flush_later ())
-      in
-      flush_later ()
-
-  (* --- lifecycle --------------------------------------------------- *)
-
-  let create ~loop cfg params =
-    let events_on = cfg.events_enabled || cfg.trace_path <> None in
-    let sink = Event.create ~first_span:(cfg.self * 1_000_000) ~enabled:events_on () in
-    let t =
-      {
-        cfg;
-        loop;
-        pid = Pid.of_int cfg.self;
-        sink;
-        metrics = Metrics.create ();
-        lamport = 0;
-        links = Array.init (Array.length cfg.addrs) (fun peer -> { peer; conn = None; dialing = false });
-        listen = None;
-        handler = None;
-        node = None;
-        left = false;
-        queue = Queue.create ();
-        op_busy = false;
-        trace_chan = None;
-        stop_flush = ignore;
-      }
-    in
-    start_trace t;
-    let fd = listen_socket cfg in
-    t.listen <- Some fd;
-    accept_loop t fd;
-    Array.iter (fun link -> if link.peer <> cfg.self then dial t link) t.links;
-    (* Founding members are active from the origin of the deployment's
-       time line; a joiner announces its entry at the instant it starts
-       listening, then runs the protocol's join (its Join span comes
-       from the protocol itself, as in the simulator). *)
-    if cfg.join then begin
-      emit t (Event.Node_join { node = cfg.self });
-      (* A joiner dialing a mesh that is already up must not broadcast
-         its INQUIRY into the void: wait until the outgoing links reach
-         a majority of the mesh (counting ourselves) before starting
-         the protocol's join. *)
-      let need_links = (Array.length cfg.addrs / 2) + 1 - 1 in
-      let rec when_connected () =
-        let ready = ref 0 in
-        Array.iteri (fun peer _ -> if link_ready t peer then incr ready) cfg.addrs;
-        if !ready >= need_links then
-          t.node <-
-            Some
-              (P.create ~rt:(runtime t) ~params ~pid:t.pid ~initial:None
-                 ~on_active:(fun _ -> pump t))
-        else after_ms_ignore t.loop 50 when_connected
-      in
-      when_connected ()
-    end
-    else begin
-      (* Founding members are active from the origin of the
-         deployment's shared time line. *)
-      if Event.enabled sink then
-        Event.emit sink ~at:Time.zero (Event.Node_join { node = cfg.self });
-      t.node <-
-        Some
-          (P.create ~rt:(runtime t) ~params ~pid:t.pid
-             ~initial:(Some (Dds_spec.Value.initial cfg.initial_value))
-             ~on_active:(fun _ -> pump t))
-    end;
-    t
-
-  let shutdown t =
-    t.left <- true;
-    (match t.listen with
-    | Some fd ->
-      Loop.unwatch_read t.loop fd;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      t.listen <- None
-    | None -> ());
-    Array.iter
-      (fun link -> match link.conn with Some c -> Conn.close c | None -> ())
-      t.links;
-    t.stop_flush ();
-    (match t.trace_chan with
-    | Some chan ->
-      flush chan;
-      close_out_noerr chan;
-      t.trace_chan <- None
-    | None -> ())
+  let create ~loop cfg params = S.create ~loop (store_config cfg) (fun _shard -> params)
+  let shutdown = S.shutdown
+  let metrics = S.metrics
+  let pid = S.pid
+  let sink t = S.sink t 0
+  let node t = S.node t 0
+  let active t = S.active t 0
 end

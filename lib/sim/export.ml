@@ -206,16 +206,16 @@ let events_of_jsonl text =
    tagged traces stay readable by every untagged consumer; the tagged
    reader below is what [dds audit] uses to split a merged multi-shard
    trace back into independently checkable registers. *)
+let tagged_event_to_json shard e =
+  match (shard, event_to_json e) with
+  | Some s, Json.Obj fields -> Json.Obj (fields @ [ ("shard", Json.Int s) ])
+  | (None | Some _), j -> j
+
 let jsonl_of_tagged_events evs =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (shard, e) ->
-      let j =
-        match (shard, event_to_json e) with
-        | Some s, Json.Obj fields -> Json.Obj (fields @ [ ("shard", Json.Int s) ])
-        | (None | Some _), j -> j
-      in
-      Json.to_buffer buf j;
+      Json.to_buffer buf (tagged_event_to_json shard e);
       Buffer.add_char buf '\n')
     evs;
   Buffer.contents buf
@@ -269,6 +269,44 @@ let events_of_jsonl_lenient text =
           in
           go (lineno + 1) acc (w :: warnings) rest
         | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      end
+  in
+  go 1 [] [] lines
+
+(* The lenient reader for merged multi-shard live traces: keeps each
+   line's shard tag (None when untagged) while still skipping one
+   malformed final line. [dds audit] uses this as its single parse
+   path — the strict/lenient choice must not change whether tags are
+   seen, or a killed node's shards silently collapse into one. *)
+let tagged_events_of_jsonl_lenient text =
+  let lines = String.split_on_char '\n' text in
+  let last_nonblank =
+    List.fold_left
+      (fun (i, last) line -> (i + 1, if String.trim line = "" then last else i))
+      (1, 0) lines
+    |> snd
+  in
+  let rec go lineno acc warnings = function
+    | [] -> Ok (List.rev acc, List.rev warnings)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc warnings rest
+      else begin
+        let parsed =
+          match Json.parse line with
+          | Error e -> Error (e, None)
+          | Ok j -> (
+            match event_of_json j with
+            | Error e -> Error (e, None)
+            | Ok ev -> Ok (Option.bind (Json.member "shard" j) Json.to_int_opt, ev))
+        in
+        match parsed with
+        | Ok tagged -> go (lineno + 1) (tagged :: acc) warnings rest
+        | Error (e, _) when lineno = last_nonblank ->
+          let w =
+            Printf.sprintf "line %d: partial final line skipped (truncated run?): %s" lineno e
+          in
+          go (lineno + 1) acc (w :: warnings) rest
+        | Error (e, _) -> Error (Printf.sprintf "line %d: %s" lineno e)
       end
   in
   go 1 [] [] lines

@@ -28,6 +28,12 @@ val events_of_jsonl : string -> (Event.stamped list, string) result
 (** Inverse of {!jsonl_of_events}; blank lines are skipped. Fails on
     the first malformed line, naming its 1-based number. *)
 
+val tagged_event_to_json : int option -> Event.stamped -> Json.t
+(** One event as the JSONL object {!jsonl_of_tagged_events} would
+    write: [Some shard] appends the ["shard"] field, [None] is exactly
+    {!event_to_json}. The live runtime streams through this so wire
+    traces and simulated exports stay byte-compatible. *)
+
 val jsonl_of_tagged_events : (int option * Event.stamped) list -> string
 (** Like {!jsonl_of_events} with an extra ["shard"] field on every
     event carrying [Some shard] — how a sharded store exports the
@@ -47,6 +53,13 @@ val events_of_jsonl_lenient : string -> (Event.stamped list * string list, strin
     — is skipped and reported as a warning instead of aborting the
     parse. Malformed lines anywhere else (corruption rather than
     truncation) still fail. Returns [(events, warnings)]. *)
+
+val tagged_events_of_jsonl_lenient :
+  string -> ((int option * Event.stamped) list * string list, string) result
+(** {!tagged_events_of_jsonl} with the truncation tolerance of
+    {!events_of_jsonl_lenient} — the parse path for merged live traces,
+    where a SIGTERM'd node leaves a partial final line but its shard
+    tags must survive. *)
 
 (** {1 Spans} *)
 

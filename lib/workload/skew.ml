@@ -49,6 +49,34 @@ let sample_rank rng cdf =
   done;
   !lo
 
+(* One-at-a-time draws for live load generation: same popularity curve
+   and seed-shuffled rank->key permutation as [plan], without the
+   up-front materialization (a closed-loop generator does not know how
+   many ops it will issue). The rank comes back with the key so the
+   caller can classify hot vs cold traffic. *)
+type sampler = { cdf : float array; perm : int array; rng : Rng.t; hot_ranks : int }
+
+let sampler ~rng ~keys ~s =
+  if keys <= 0 then invalid_arg "Skew.sampler: keys must be positive";
+  if s < 0.0 then invalid_arg "Skew.sampler: negative zipf exponent";
+  let perm = Array.init keys (fun i -> i) in
+  Rng.shuffle_in_place rng perm;
+  {
+    cdf = zipf_cdf ~keys ~s;
+    perm;
+    rng;
+    (* The "hot" class: the top 1% of ranks (at least one key). Under
+       s ~ 1 that is where most of the mass sits; under s = 0 the
+       class is arbitrary but harmless — every key performs alike. *)
+    hot_ranks = Stdlib.max 1 (keys / 100);
+  }
+
+let hot_ranks sm = sm.hot_ranks
+
+let draw sm =
+  let rank = sample_rank sm.rng sm.cdf in
+  (sm.perm.(rank), rank)
+
 let plan ~rng cfg =
   if cfg.keys <= 0 then invalid_arg "Skew.plan: keys must be positive";
   if cfg.s < 0.0 then invalid_arg "Skew.plan: negative zipf exponent";

@@ -47,3 +47,21 @@ val plan : rng:Rng.t -> config -> Shard.op list
 val key_histogram : Shard.op list -> keys:int -> int array
 (** Ops per key — how tests and tables measure the skew actually
     drawn. *)
+
+(** {1 Live sampling}
+
+    The closed-loop load generator cannot pre-draw a plan (it issues
+    until a deadline, not a count); a [sampler] hands out one key at a
+    time from the same zipfian popularity curve and seed-shuffled
+    rank→key permutation [plan] uses. *)
+
+type sampler
+
+val sampler : rng:Rng.t -> keys:int -> s:float -> sampler
+
+val draw : sampler -> int * int
+(** [(key, rank)] — rank 0 is the most popular. The rank lets the
+    caller split traffic into key classes (hot head vs cold tail). *)
+
+val hot_ranks : sampler -> int
+(** Ranks classified "hot": the top 1% of the key space, at least 1. *)

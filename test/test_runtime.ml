@@ -1,8 +1,10 @@
 (* Tests for the Unix runtime backend: wire-codec round trips for
    every protocol's messages, strict truncation behaviour, deframer
-   chunking, and a live 3-node ES deployment over loopback TCP whose
-   merged trace must audit to the same Regularity verdict as an
-   equivalent simulated run. *)
+   chunking, the v2 keyed frame envelope (round trips, strict-prefix
+   rejection, v1/v2 negotiation matrix), and live loopback TCP
+   deployments — a 3-node single register and a 3-node 2-shard keyed
+   store — whose merged traces must audit to the same Regularity
+   verdicts as equivalent simulated runs. *)
 
 open Dds_sim
 open Dds_net
@@ -12,8 +14,11 @@ open Dds_workload
 module Loop = Dds_runtime_unix.Loop
 module Frame = Dds_runtime_unix.Frame
 module Node = Dds_runtime_unix.Node
+module Store = Dds_runtime_unix.Store
+module Placement = Dds_runtime_unix.Placement
 module Client = Dds_runtime_unix.Client
 module Load = Dds_runtime_unix.Load
+module Shard = Dds_shard.Shard
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
@@ -104,6 +109,135 @@ let codec_tests =
       rejects_truncation (module Sync_register) sync_msg_gen;
       rejects_truncation (module Es_register) es_msg_gen;
       rejects_truncation (module Abd_register) abd_msg_gen;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* v2 keyed frame envelope *)
+
+let key_gen = QCheck.Gen.(map abs int)  (* keys are 63-bit non-negative *)
+
+(* A protocol message wrapped in a v2 Msg envelope survives the trip:
+   src, lamport and shard come back exactly, and the remainder reader
+   decodes to the original message with nothing left over. *)
+let envelope_roundtrips (type m) (module P : Register_intf.PROTOCOL with type msg = m) eq gen =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "%s v2 Msg envelope round-trips" P.name)
+    (QCheck.make QCheck.Gen.(pair (pair nat nat) (pair (int_bound 1023) gen)))
+    (fun ((src, lamport), (shard, msg)) ->
+      let b = Frame.buf_msg_header ~src ~lamport ~shard () in
+      P.put_msg b msg;
+      match Frame.decode ~version:Wire.v2 (Buffer.contents b) with
+      | Frame.Msg { src = s; lamport = lc; shard = sh; rest } ->
+        let back = P.get_msg rest in
+        Wire.expect_end rest;
+        s = src && lc = lamport && sh = shard && eq msg back
+      | _ -> false)
+
+(* The keyed client frames: req and key survive at v2, and a v1 decode
+   of a v1 encoding of the same op means key 0 (the only key v1 can
+   name). *)
+let keyed_client_frames_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"v2 keyed client frames round-trip"
+    (QCheck.make QCheck.Gen.(pair (pair nat key_gen) (pair int value_gen)))
+    (fun ((req, key), (data, value)) ->
+      let dec b = Frame.decode ~version:Wire.v2 (Buffer.contents b) in
+      (match dec (Frame.buf_read_req ~req ~key ()) with
+      | Frame.Read_req { req = r; key = k } -> r = req && k = key
+      | _ -> false)
+      && (match dec (Frame.buf_write_req ~req ~key ~data ()) with
+         | Frame.Write_req { req = r; key = k; data = d } -> r = req && k = key && d = data
+         | _ -> false)
+      &&
+      match dec (Frame.buf_resp ~req ~key value) with
+      | Frame.Resp { req = r; key = k; value = v } -> r = req && k = key && v = value
+      | _ -> false)
+
+let keyed_client_frames_v1_mean_key0 =
+  QCheck.Test.make ~count:200 ~name:"v1 client frames decode as key 0"
+    (QCheck.make QCheck.Gen.(pair nat int))
+    (fun (req, data) ->
+      let dec b = Frame.decode ~version:Wire.v1 (Buffer.contents b) in
+      (match dec (Frame.buf_read_req ~version:Wire.v1 ~req ~key:0 ()) with
+      | Frame.Read_req { req = r; key = 0 } -> r = req
+      | _ -> false)
+      &&
+      match dec (Frame.buf_write_req ~version:Wire.v1 ~req ~key:0 ~data ()) with
+      | Frame.Write_req { req = r; key = 0; data = d } -> r = req && d = data
+      | _ -> false)
+
+(* Every strict prefix of a v2 envelope encoding must raise — same
+   discipline the protocol codecs already obey, extended to the keyed
+   layouts. Msg needs the protocol codec applied to its remainder (the
+   envelope defers payload decoding by design). *)
+let envelope_rejects_truncation =
+  QCheck.Test.make ~count:100 ~name:"v2 envelope rejects strict prefixes"
+    (QCheck.make QCheck.Gen.(pair (pair nat key_gen) (pair int es_msg_gen)))
+    (fun ((req, key), (data, msg)) ->
+      let cases =
+        [ (Buffer.contents (Frame.buf_read_req ~req ~key ()), false);
+          (Buffer.contents (Frame.buf_write_req ~req ~key ~data ()), false);
+          (Buffer.contents (Frame.buf_resp ~req ~key Value.bottom), false);
+          (Buffer.contents (Frame.buf_err ~req "refused"), false);
+          ( (let b = Frame.buf_msg_header ~src:1 ~lamport:2 ~shard:3 () in
+             Es_register.put_msg b msg;
+             Buffer.contents b),
+            true ) ]
+      in
+      List.for_all
+        (fun (s, is_msg) ->
+          let ok = ref true in
+          for k = 0 to String.length s - 1 do
+            let prefix = String.sub s 0 k in
+            match Frame.decode ~version:Wire.v2 prefix with
+            | Frame.Msg { rest; _ } when is_msg -> (
+              (* header may parse; the payload decode must then fail *)
+              match Es_register.get_msg rest with
+              | _ -> ok := false
+              | exception Wire.Truncated -> ()
+              | exception Wire.Malformed _ -> ())
+            | _ -> ok := false
+            | exception Wire.Truncated -> ()
+            | exception Wire.Malformed _ -> ()
+          done;
+          !ok)
+        cases)
+
+(* The one deliberate prefix relation in the protocol: a v2 Hello minus
+   its trailing version byte IS a valid v1 Hello. That dual decode is
+   how negotiation bootstraps — the hello is self-describing, so it is
+   exempt from the strict-prefix rule above. *)
+let test_hello_dual_decode () =
+  let v2 = Buffer.contents (Frame.buf_hello ~version:Wire.v2 5) in
+  (match Frame.decode v2 with
+  | Frame.Hello { pid = 5; version } -> check_int "v2 hello version" Wire.v2 version
+  | _ -> Alcotest.fail "v2 hello did not decode");
+  let v1 = String.sub v2 0 (String.length v2 - 1) in
+  (match Frame.decode v1 with
+  | Frame.Hello { pid = 5; version } -> check_int "v1 hello version" Wire.v1 version
+  | _ -> Alcotest.fail "v1 hello prefix did not decode");
+  match Frame.decode (Buffer.contents (Frame.buf_client_hello ~version:Wire.v1 ())) with
+  | Frame.Client_hello { version } -> check_int "v1 client hello version" Wire.v1 version
+  | _ -> Alcotest.fail "v1 client hello did not decode"
+
+let test_negative_key_rejected () =
+  let b = Buffer.create 8 in
+  match Wire.put_key b (-1) with
+  | () -> Alcotest.fail "negative key accepted"
+  | exception Wire.Malformed _ -> ()
+
+let envelope_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      envelope_roundtrips (module Sync_register) ( = ) sync_msg_gen;
+      envelope_roundtrips (module Es_register) ( = ) es_msg_gen;
+      envelope_roundtrips (module Abd_register) ( = ) abd_msg_gen;
+      keyed_client_frames_roundtrip;
+      keyed_client_frames_v1_mean_key0;
+      envelope_rejects_truncation;
+    ]
+  @ [
+      Alcotest.test_case "hello dual-decodes across versions" `Quick test_hello_dual_decode;
+      Alcotest.test_case "negative key rejected at encode" `Quick test_negative_key_rejected;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -276,7 +410,7 @@ let test_loopback_deployment () =
   (* Scripted ops through the blocking client: two writes on node 0,
      then reads through two different nodes must observe the last
      write (no concurrent writer => regularity pins the value). *)
-  let c0 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(0)) in
+  let c0 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(0)) () in
   (match Client.write c0 11 with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "write 11: %s" e);
@@ -286,14 +420,14 @@ let test_loopback_deployment () =
   (match Client.read c0 with
   | Ok v -> check_int "read-own-write via node 0" 22 v.Value.data
   | Error e -> Alcotest.failf "read node 0: %s" e);
-  let c1 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(1)) in
+  let c1 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(1)) () in
   (match Client.read c1 with
   | Ok v -> check_int "read via node 1" 22 v.Value.data
   | Error e -> Alcotest.failf "read node 1: %s" e);
   Client.close c0;
   Client.close c1;
   (* A short burst of closed-loop load: every op must complete. *)
-  let report = Load.run ~addrs ~clients:6 ~duration_s:0.6 ~write_ratio:0.2 ~route:Load.Fixed ~seed:7 in
+  let report = Load.run ~addrs ~clients:6 ~duration_s:0.6 ~write_ratio:0.2 ~route:Load.Fixed ~seed:7 () in
   check_bool "load did work" true (report.Load.ops > 50);
   check_int "load errors" 0 report.Load.errors;
   check_bool "load wrote" true (report.Load.writes > 0);
@@ -301,7 +435,7 @@ let test_loopback_deployment () =
      sharded store's placement hash; everything must still complete.
      Read-only: this trace is audited against the single-writer regime
      below, and key-hash writes land on every node by design. *)
-  let kh = Load.run ~addrs ~clients:6 ~duration_s:0.4 ~write_ratio:0.0 ~route:Load.Key_hash ~seed:7 in
+  let kh = Load.run ~addrs ~clients:6 ~duration_s:0.4 ~write_ratio:0.0 ~route:Load.Key_hash ~seed:7 () in
   check_bool "key-hash load did work" true (kh.Load.ops > 50);
   check_int "key-hash load errors" 0 kh.Load.errors;
   check_int "key-hash load read-only" kh.Load.ops kh.Load.reads;
@@ -347,10 +481,324 @@ let test_loopback_deployment () =
   check_bool "wire monitors verdict matches sim" sim_monitors_ok wire_monitors_ok;
   check_bool "wire regularity verdict matches sim" sim_regular wire_regular
 
+(* ------------------------------------------------------------------ *)
+(* Version negotiation against a live server *)
+
+(* Fork a single-node es server and hand its port to [f]; teardown is
+   unconditional so a failing probe cannot leak the child. *)
+let with_single_node_server f =
+  let sock, port = bind_ephemeral () in
+  let addrs = [| ("127.0.0.1", port) |] in
+  let ctl_r, ctl_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close ctl_w;
+    (try
+       let loop = Loop.create () in
+       let cfg =
+         {
+           (Node.default_config ~self:0 ~addrs) with
+           Node.events_enabled = false;
+           listen_fd = Some sock;
+         }
+       in
+       let node = N_es.create ~loop cfg (Es_register.default_params ~n:1) in
+       Loop.watch_read loop ctl_r (fun () ->
+           N_es.shutdown node;
+           Loop.stop loop);
+       Loop.run loop
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close ctl_r;
+    Unix.close sock;
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Unix.write ctl_w (Bytes.make 1 'q') 0 1);
+        ignore (Unix.waitpid [] pid);
+        Unix.close ctl_w)
+      (fun () -> f port)
+
+let raw_dial port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let raw_send fd b =
+  let s = Wire.frame b in
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let raw_recv_frame fd =
+  let d = Wire.deframer () in
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Wire.next_frame d with
+    | Some p -> p
+    | None ->
+      let n = Unix.read fd buf 0 4096 in
+      if n = 0 then Alcotest.fail "server closed without answering";
+      Wire.feed d buf n;
+      go ()
+  in
+  go ()
+
+let test_negotiation_matrix () =
+  with_single_node_server (fun port ->
+      (* v1 client against a v2 server: byte-identical legacy frames,
+         no hello ack, ops address the only register (key 0). *)
+      let c1 = Client.connect ~wire:Wire.v1 ~host:"127.0.0.1" ~port () in
+      check_int "legacy client speaks v1" Wire.v1 (Client.version c1);
+      (match Client.write c1 41 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "v1 write: %s" e);
+      (match Client.read c1 with
+      | Ok v -> check_int "v1 read sees v1 write" 41 v.Value.data
+      | Error e -> Alcotest.failf "v1 read: %s" e);
+      (match Client.read ~key:7 c1 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "v1 client accepted a nonzero key");
+      Client.close c1;
+      (* v2 client: negotiates, then addresses keys. On a 1-shard
+         server every key routes to shard 0, so the keyed read must
+         observe the v1 write — the two protocols name one register. *)
+      let c2 = Client.connect ~host:"127.0.0.1" ~port () in
+      check_int "client negotiated v2" Wire.v2 (Client.version c2);
+      (match Client.read ~key:9000 c2 with
+      | Ok v -> check_int "keyed read via 1-shard server" 41 v.Value.data
+      | Error e -> Alcotest.failf "v2 keyed read: %s" e);
+      (match Client.write ~key:9000 c2 52 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "v2 keyed write: %s" e);
+      Client.close c2;
+      (* A client from the future (v3) is clamped to what we speak:
+         the hello ack names v2, not an error. *)
+      let fd = raw_dial port in
+      let b = Buffer.create 4 in
+      Wire.put_u8 b 1;
+      Wire.put_u8 b 3;
+      raw_send fd b;
+      (match Frame.decode ~version:Wire.v2 (raw_recv_frame fd) with
+      | Frame.Hello { pid = 0; version } -> check_int "clamped to v2" Wire.v2 version
+      | _ -> Alcotest.fail "v3 client hello not acked with a hello");
+      Unix.close fd;
+      (* Version 0 is below anything this protocol ever spoke: a typed
+         connection-level Err, then close — not a crash, not silence. *)
+      let fd = raw_dial port in
+      let b = Buffer.create 4 in
+      Wire.put_u8 b 1;
+      Wire.put_u8 b 0;
+      raw_send fd b;
+      (match Frame.decode ~version:Wire.v2 (raw_recv_frame fd) with
+      | Frame.Err { req; _ } -> check_int "version-0 err is connection-level" Frame.no_req req
+      | _ -> Alcotest.fail "version 0 not refused with Err");
+      Unix.close fd;
+      (* Same for a peer hello announcing a version we cannot decode. *)
+      let fd = raw_dial port in
+      let b = Buffer.create 8 in
+      Wire.put_u8 b 0;
+      Wire.put_int b 1;
+      Wire.put_u8 b 9;
+      raw_send fd b;
+      (match Frame.decode ~version:Wire.v2 (raw_recv_frame fd) with
+      | Frame.Err { req; _ } -> check_int "peer-v9 err is connection-level" Frame.no_req req
+      | _ -> Alcotest.fail "peer hello v9 not refused with Err");
+      Unix.close fd)
+
+(* ------------------------------------------------------------------ *)
+(* Live multi-shard deployment *)
+
+module S_es = Store.Make (Es_register)
+
+let read_tagged_trace path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Export.tagged_events_of_jsonl_lenient text with
+  | Ok (evs, _) -> evs
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+(* The smallest key that lands on [shard] — scripted ops need one key
+   per shard, and the placement hash is a pure function so searching
+   the low key space is deterministic. *)
+let key_on ~shards shard =
+  let rec go k =
+    if k > 10_000 then Alcotest.failf "no key below 10000 routes to shard %d" shard
+    else if Shard.route ~shards ~key:k = shard then k
+    else go (k + 1)
+  in
+  go 0
+
+(* Three nodes hosting two shards under the placement "0;0,1;0,1":
+   shard 0 lives on everyone (writer = node 0), shard 1 only on nodes
+   1 and 2 (writer = node 1). Scripted keyed ops pin a value into each
+   shard, a zipfian keyed load exercises the mesh, and the merged
+   tagged traces must audit REGULAR per shard — matching an equivalent
+   simulated sharded run. *)
+let test_sharded_loopback () =
+  let n = 3 and shards = 2 in
+  let placement =
+    match Placement.make ~nodes:n ~shards ~spec:(Some "0;0,1;0,1") with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let socks = Array.init n (fun _ -> bind_ephemeral ()) in
+  let addrs = Array.map (fun (_, port) -> ("127.0.0.1", port)) socks in
+  let traces =
+    Array.init n (fun i -> Filename.temp_file (Printf.sprintf "dds-store%d-" i) ".jsonl")
+  in
+  let epoch_ms = Store.default_epoch_ms () in
+  let children =
+    Array.init n (fun i ->
+        let ctl_r, ctl_w = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          Unix.close ctl_w;
+          (try
+             let loop = Loop.create () in
+             let cfg =
+               {
+                 Store.self = i;
+                 addrs;
+                 placement;
+                 join = false;
+                 initial_value = 0;
+                 epoch_ms;
+                 events_enabled = true;
+                 trace_path = Some traces.(i);
+                 listen_fd = Some (fst socks.(i));
+               }
+             in
+             let store =
+               S_es.create ~loop cfg (fun shard ->
+                   Es_register.default_params
+                     ~n:(List.length (Placement.owners placement shard)))
+             in
+             Loop.watch_read loop ctl_r (fun () ->
+                 S_es.shutdown store;
+                 Loop.stop loop);
+             Loop.run loop
+           with _ -> ());
+          Unix._exit 0
+        | pid ->
+          Unix.close ctl_r;
+          (pid, ctl_w))
+  in
+  Array.iter (fun (fd, _) -> Unix.close fd) socks;
+  let k0 = key_on ~shards 0 and k1 = key_on ~shards 1 in
+  (* Scripted keyed ops through each shard's writer, then cross-checked
+     through node 2 (an owner of both shards). *)
+  let c0 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(0)) () in
+  check_int "scripted client negotiated v2" Wire.v2 (Client.version c0);
+  (match Client.write ~key:k0 c0 111 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "write shard 0: %s" e);
+  let c1 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(1)) () in
+  (match Client.write ~key:k1 c1 222 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "write shard 1: %s" e);
+  let c2 = Client.connect ~host:"127.0.0.1" ~port:(snd addrs.(2)) () in
+  (match Client.read ~key:k0 c2 with
+  | Ok v -> check_int "shard-0 read via node 2" 111 v.Value.data
+  | Error e -> Alcotest.failf "read shard 0: %s" e);
+  (match Client.read ~key:k1 c2 with
+  | Ok v -> check_int "shard-1 read via node 2" 222 v.Value.data
+  | Error e -> Alcotest.failf "read shard 1: %s" e);
+  (* Node 0 does not own shard 1: the op must come back as a typed Err
+     naming the misroute, not hang or crash the node. *)
+  (match Client.read ~key:k1 c0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "node 0 served a shard it does not own");
+  Client.close c0;
+  Client.close c1;
+  Client.close c2;
+  (* Keyed zipfian load with the real placement: writes funnel to each
+     shard's writer, reads spread over its owners, every op lands. *)
+  let report =
+    Load.run ~placement ~keys:64 ~skew:1.1 ~addrs ~clients:6 ~duration_s:0.6
+      ~write_ratio:0.2 ~route:Load.Key_hash ~seed:9 ()
+  in
+  check_bool "keyed load did work" true (report.Load.ops > 50);
+  check_int "keyed load errors" 0 report.Load.errors;
+  check_bool "keyed load wrote" true (report.Load.writes > 0);
+  check_int "hot class is top 1% (min 1)" 1 report.Load.hot_keys;
+  check_int "hot + cold partition the ops" report.Load.ops
+    (Histogram.count report.Load.hot_lat_us + Histogram.count report.Load.cold_lat_us);
+  (* Tear down, merge the tagged traces, audit per shard. *)
+  Array.iter (fun (_, ctl_w) -> ignore (Unix.write ctl_w (Bytes.make 1 'q') 0 1)) children;
+  Array.iter
+    (fun (pid, ctl_w) ->
+      ignore (Unix.waitpid [] pid);
+      Unix.close ctl_w)
+    children;
+  let merged = Array.to_list traces |> List.concat_map read_tagged_trace in
+  Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) traces;
+  let tags = List.sort_uniq compare (List.filter_map fst merged) in
+  check (Alcotest.list Alcotest.int) "both shards tagged in the merged trace" [ 0; 1 ] tags;
+  let shard_verdict shard =
+    let evs =
+      List.filter_map (fun (tag, ev) -> if tag = Some shard then Some ev else None) merged
+      |> List.stable_sort (fun (a : Event.stamped) b -> Time.compare a.at b.at)
+    in
+    check_bool
+      (Printf.sprintf "shard %d trace non-trivial" shard)
+      true
+      (List.length evs > 20);
+    audit_verdict ~n:(List.length (Placement.owners placement shard)) ~delta:30 evs
+  in
+  let wire_verdicts = List.map shard_verdict [ 0; 1 ] in
+  (* The simulated twin: same shard count, key space and skew, run
+     through the simulator's sharded facade. Its per-shard verdicts
+     are the reference the live ones must match. *)
+  let module Es_d = Deployment.Make (Es_register) in
+  let module Sh_es = Shard.Make (Es_d) in
+  let sim =
+    Sh_es.create
+      {
+        Shard.shards;
+        keys = 64;
+        base =
+          {
+            (Deployment.default_config ~seed:9 ~n ~delay:(Delay.synchronous ~delta:3)
+               ~churn_rate:0.0)
+            with
+            Deployment.events_enabled = true;
+          };
+      }
+      (Es_register.default_params ~n)
+  in
+  Sh_es.load sim
+    (Skew.plan ~rng:(Rng.create ~seed:9)
+       { (Skew.default ~keys:64 ~s:1.1 ~until:(Time.of_int 300)) with
+         Skew.read_rate = 0.5;
+         write_every = 10 });
+  Sh_es.run_until sim (Time.of_int 400);
+  check_bool "sim sharded store regular" true (Sh_es.regular sim);
+  let sim_tagged = Sh_es.tagged_events sim in
+  let sim_verdict shard =
+    let evs =
+      List.filter_map (fun (tag, ev) -> if tag = Some shard then Some ev else None) sim_tagged
+    in
+    audit_verdict ~n ~delta:3 evs
+  in
+  List.iteri
+    (fun shard (wire_mon, wire_reg) ->
+      let sim_mon, sim_reg = sim_verdict shard in
+      check_bool (Printf.sprintf "sim shard %d monitors clean" shard) true sim_mon;
+      check_bool (Printf.sprintf "sim shard %d regular" shard) true sim_reg;
+      check_bool
+        (Printf.sprintf "shard %d monitor verdict matches sim" shard)
+        sim_mon wire_mon;
+      check_bool
+        (Printf.sprintf "shard %d regularity verdict matches sim" shard)
+        sim_reg wire_reg)
+    wire_verdicts
+
 let () =
   Alcotest.run "runtime"
     [
       ("codec", codec_tests);
+      ("envelope", envelope_tests);
       ( "wire",
         [
           Alcotest.test_case "int extremes round-trip" `Quick test_int_extremes;
@@ -360,5 +808,12 @@ let () =
           Alcotest.test_case "oversized frame rejected" `Quick test_oversized_frame_rejected;
         ] );
       ( "loopback",
-        [ Alcotest.test_case "3-node es over TCP audits REGULAR" `Quick test_loopback_deployment ] );
+        [
+          Alcotest.test_case "3-node es over TCP audits REGULAR" `Quick
+            test_loopback_deployment;
+          Alcotest.test_case "v1/v2 negotiation matrix against a live server" `Quick
+            test_negotiation_matrix;
+          Alcotest.test_case "2-shard keyed store over TCP audits REGULAR per shard" `Quick
+            test_sharded_loopback;
+        ] );
     ]
